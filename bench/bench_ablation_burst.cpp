@@ -1,0 +1,45 @@
+// Ablation: burst length sweep beyond Table V -- how far does the Section VI
+// on-chip aggregation optimisation carry as traffic burstiness grows, in
+// both throughput and accuracy?
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/np_system.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("burst-aggregation sweep on the simulated IXP2850",
+                     "extension of paper Table V / Section VI");
+
+  sim::NpConfig base;
+  base.flow_count = 1024;
+  base.mean_packets = 200.0 * bench::scale();
+  base.num_mes = 1;
+  base.seed = 77;
+
+  stats::TextTable table({"burst range", "aggregation", "throughput",
+                          "avg rel error", "SRAM updates/pkt"});
+  for (std::uint32_t burst_hi : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (bool aggregate : {false, true}) {
+      sim::NpConfig c = base;
+      c.burst_lo = 1;
+      c.burst_hi = burst_hi;
+      c.burst_aggregation = aggregate;
+      const sim::NpResult r = sim::run_np_simulation(c);
+      table.add_row({"1-" + std::to_string(burst_hi),
+                     aggregate ? "on" : "off",
+                     stats::fmt(r.throughput_gbps, 1) + "Gbps",
+                     stats::fmt(r.avg_relative_error, 4),
+                     stats::fmt(static_cast<double>(r.sram_updates) /
+                                    static_cast<double>(r.packets),
+                                3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nwithout aggregation, burstiness changes nothing (every\n"
+               "packet still costs one SRAM round trip).  with aggregation,\n"
+               "throughput grows with burst length while error *falls*\n"
+               "(larger effective theta, Theorem 2) -- the Section VI\n"
+               "optimisation compounds with burstier traffic.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: where does the simulated NP bottleneck move?  Sweeps MEs x SRAM
+// channels under the worst-case traffic (all 64 B packets, burst 1) where
+// per-packet compute is cheapest relative to SRAM work, and under the
+// Table V pattern.  Shows the design headroom behind the paper's claim that
+// 8 MEs reach 10 Gbps even in the worst case.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/np_system.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("NP resource sweep: MEs x SRAM channels",
+                     "extension of paper Table V / Section VI");
+
+  sim::NpConfig base;
+  base.flow_count = 1024;
+  base.mean_packets = 150.0 * bench::scale();
+  base.seed = 99;
+
+  auto sweep = [&](const char* label, std::uint32_t len_lo, std::uint32_t len_hi) {
+    std::cout << label << "\n";
+    stats::TextTable table({"# ME", "1 channel", "2 channels", "4 channels"});
+    for (int mes : {1, 8, 16, 32, 64}) {
+      std::vector<std::string> row = {std::to_string(mes)};
+      for (int channels : {1, 2, 4}) {
+        sim::NpConfig c = base;
+        c.num_mes = mes;
+        c.sram_channels = channels;
+        c.len_lo = len_lo;
+        c.len_hi = len_hi;
+        const sim::NpResult r = sim::run_np_simulation(c);
+        row.push_back(stats::fmt(r.throughput_gbps, 1) + "Gbps");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  };
+
+  sweep("Table V pattern (64 B - 1 KB packets):", 64, 1024);
+  sweep("worst case (all 64 B packets):", 64, 64);
+
+  std::cout <<
+      "the bottleneck cascades: at low ME counts the ME compute budget\n"
+      "dominates and extra channels buy nothing; past ~16 MEs the single\n"
+      "SRAM channel saturates and a second channel is the difference\n"
+      "between plateauing and scaling; past that, the scratchpad ring's\n"
+      "issue rate becomes the ceiling (the 2- and 4-channel columns\n"
+      "coincide).  This is the provisioning calculus behind the paper's\n"
+      "worst-case remark that 8 MEs suffice for 10 Gbps.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: the choice of regulation function f -- the design decision
+// behind the paper's eq. 1.
+//
+// Any increasing convex f with f(0) = 0 yields an unbiased discount counter
+// (see core/regulation.hpp).  This bench compares the paper's geometric f
+// against a quadratic f at the SAME counter-bit budget on the same flows:
+// geometric buys a bounded-relative-error-forever profile; quadratic buys
+// errors that vanish on elephants at the cost of provisioning accuracy for
+// the largest flow.  The paper's choice is the right one for fixed SRAM --
+// this bench shows why, with numbers.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/regulation.hpp"
+#include "util/math.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("regulation-function ablation: geometric (paper) vs quadratic",
+                     "design choice behind eq. 1");
+
+  const int bits = 12;
+  const std::uint64_t max_flow = std::uint64_t{1} << 30;  // provision for 1 GB
+  const double b = util::choose_b(max_flow, bits);
+  core::GenericDisco<core::GeometricRegulation> geometric{
+      core::GeometricRegulation(b)};
+  core::GenericDisco<core::QuadraticRegulation> quadratic{
+      core::QuadraticRegulation::for_budget(max_flow, bits)};
+
+  std::cout << "budget: " << bits << "-bit counters provisioned for 1 GB flows\n"
+            << "geometric b = " << stats::fmt(b, 6)
+            << ", quadratic a = " << stats::fmt(quadratic.regulation().a(), 3)
+            << "\n\n";
+
+  util::Rng rng(2718);
+  const int runs = static_cast<int>(200 * bench::scale());
+  stats::TextTable table({"flow bytes", "geometric avg R", "quadratic avg R",
+                          "geometric E[c]", "quadratic E[c]"});
+  for (std::uint64_t flow = 10000; flow <= max_flow / 4; flow *= 16) {
+    double geo_err = 0.0;
+    double quad_err = 0.0;
+    double geo_c = 0.0;
+    double quad_c = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      std::uint64_t cg = 0;
+      std::uint64_t cq = 0;
+      std::uint64_t sent = 0;
+      while (sent < flow) {
+        const std::uint64_t l = std::min<std::uint64_t>(1024, flow - sent);
+        cg = geometric.update(cg, l, rng);
+        cq = quadratic.update(cq, l, rng);
+        sent += l;
+      }
+      geo_err += util::relative_error(geometric.estimate(cg),
+                                      static_cast<double>(flow));
+      quad_err += util::relative_error(quadratic.estimate(cq),
+                                       static_cast<double>(flow));
+      geo_c += static_cast<double>(cg);
+      quad_c += static_cast<double>(cq);
+    }
+    table.add_row({std::to_string(flow), stats::fmt(geo_err / runs, 4),
+                   stats::fmt(quad_err / runs, 4),
+                   stats::fmt(geo_c / runs, 0), stats::fmt(quad_c / runs, 0)});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nreading: the quadratic profile wastes its counter range on small\n"
+      "flows (error far above geometric there) and only catches up on the\n"
+      "largest elephants; with heavy-tailed traffic -- where most flows are\n"
+      "small -- the geometric profile's uniform bounded error wins at equal\n"
+      "bits, which is exactly why eq. 1 regulates geometrically.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation: DISCO vs the sampling-family baselines the paper's related-work
+// section surveys -- Sample-and-Hold (ref. [7]) and Adaptive NetFlow / BNF
+// (ref. [6]) -- on one heavy-tailed workload.
+//
+// Three philosophies of the same SRAM budget:
+//   * Sample-and-Hold: ignore mice, count elephants near-exactly;
+//   * Adaptive NetFlow: uniform packet sampling whose rate degrades (with
+//     renormalisation stalls) as the flow population grows;
+//   * DISCO: every flow gets a small counter with uniform bounded relative
+//     error and no renormalisation, ever.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "counters/adaptive_netflow.hpp"
+#include "counters/sample_hold.hpp"
+#include "stats/experiment.hpp"
+#include "util/math.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("DISCO vs Sample-and-Hold vs Adaptive NetFlow",
+                     "paper references [6], [7] (related-work baselines)");
+
+  util::Rng rng(1606);
+  const std::uint32_t flow_count = bench::scaled(2000);
+  const auto flows = trace::real_trace_model().make_flows(flow_count, rng);
+  bench::print_workload_summary("real-trace model", flows);
+
+  std::uint64_t total_bytes = 0;
+  std::uint64_t max_flow = 1;
+  for (const auto& f : flows) {
+    total_bytes += f.bytes();
+    max_flow = std::max(max_flow, f.bytes());
+  }
+  const std::uint64_t elephant_threshold = total_bytes / 1000;  // 0.1%
+  std::cout << '\n';
+
+  // --- DISCO: per-flow 12-bit counters --------------------------------------
+  const auto disco_method = stats::make_method("DISCO");
+  const auto rd = stats::run_accuracy(*disco_method, flows,
+                                      stats::CountingMode::kVolume, 12, 1606);
+
+  // --- Sample-and-Hold: rate chosen so expected held flows ~ flow count ----
+  const double sh_rate = 1.0 / (static_cast<double>(total_bytes) /
+                                static_cast<double>(flow_count) / 4.0);
+  std::vector<counters::SampleAndHold> sh(flows.size(),
+                                          counters::SampleAndHold(sh_rate));
+  util::Rng sh_rng(1607);
+  for (const auto& f : flows) {
+    for (auto l : f.lengths) sh[f.id].add(l, sh_rng);
+  }
+
+  // --- Adaptive NetFlow: entry budget equal to the flow count --------------
+  counters::AdaptiveNetFlow::Config nf_config;
+  nf_config.max_entries = flow_count / 2;  // pressure forces adaptation
+  counters::AdaptiveNetFlow nf(nf_config);
+  util::Rng nf_rng(1608);
+  for (const auto& f : flows) {
+    for (std::size_t p = 0; p < f.packets(); ++p) nf.add_packet(f.id, nf_rng);
+  }
+
+  // --- score: per-flow error on all flows and on elephants only -------------
+  auto score = [&](auto&& estimate) {
+    double err_all = 0.0;
+    std::size_t n_all = 0;
+    double err_eleph = 0.0;
+    std::size_t n_eleph = 0;
+    std::size_t invisible = 0;
+    for (const auto& f : flows) {
+      const double truth = static_cast<double>(f.bytes());
+      if (truth == 0.0) continue;
+      const double est = estimate(f);
+      const double r = std::fabs(est - truth) / truth;
+      err_all += r;
+      ++n_all;
+      if (est == 0.0) ++invisible;
+      if (f.bytes() >= elephant_threshold) {
+        err_eleph += r;
+        ++n_eleph;
+      }
+    }
+    struct Score {
+      double avg_all;
+      double avg_elephants;
+      double invisible_share;
+    };
+    return Score{err_all / static_cast<double>(n_all),
+                 n_eleph ? err_eleph / static_cast<double>(n_eleph) : 0.0,
+                 static_cast<double>(invisible) / static_cast<double>(n_all)};
+  };
+
+  const auto s_disco = score([&](const trace::FlowRecord& f) {
+    return rd.estimates[f.id];
+  });
+  const auto s_sh = score([&](const trace::FlowRecord& f) {
+    return sh[f.id].estimate();
+  });
+  // ANF counts packets; scale to bytes via the flow's mean packet size for a
+  // fair volume comparison (its native use is flow size counting).
+  const auto s_nf = score([&](const trace::FlowRecord& f) {
+    const double pkts = nf.estimate(f.id);
+    const double mean_len = f.packets() == 0
+                                ? 0.0
+                                : static_cast<double>(f.bytes()) /
+                                      static_cast<double>(f.packets());
+    return pkts * mean_len;
+  });
+
+  stats::TextTable table({"method", "avg R (all flows)", "avg R (elephants)",
+                          "invisible flows", "renormalisations"});
+  table.add_row({"DISCO 12-bit", stats::fmt(s_disco.avg_all, 3),
+                 stats::fmt(s_disco.avg_elephants, 3),
+                 stats::fmt(s_disco.invisible_share * 100, 1) + "%", "0"});
+  table.add_row({"Sample-and-Hold", stats::fmt(s_sh.avg_all, 3),
+                 stats::fmt(s_sh.avg_elephants, 3),
+                 stats::fmt(s_sh.invisible_share * 100, 1) + "%", "0"});
+  table.add_row({"Adaptive NetFlow", stats::fmt(s_nf.avg_all, 3),
+                 stats::fmt(s_nf.avg_elephants, 3),
+                 stats::fmt(s_nf.invisible_share * 100, 1) + "%",
+                 std::to_string(nf.renormalizations()) + " (" +
+                     std::to_string(nf.renormalization_work()) + " entry ops)"});
+  table.print(std::cout);
+
+  std::cout <<
+      "\nSample-and-Hold nails elephants but blinds itself to most flows;\n"
+      "Adaptive NetFlow sees everything it sampled but pays rate decay and\n"
+      "renormalisation stalls; DISCO alone bounds the error of EVERY flow\n"
+      "from a fixed SRAM budget with no renormalisation -- the paper's case\n"
+      "for discount counting in one table.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation: table-less monitoring with DISCO sketch cells.
+//
+// Per-flow counters need a flow table; a Count-Min sketch does not, but its
+// cells absorb many flows and therefore need the very wide counters DISCO
+// compresses.  This bench compares, at matched TOTAL SRAM budgets:
+//   * FlowMonitor-style per-flow DISCO counters + flow table,
+//   * DiscoSketch (CMS with 12-bit DISCO cells),
+//   * a conventional CMS with full-size 32-bit cells (same total bits =>
+//     ~2.7x fewer cells => more collisions).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/disco_sketch.hpp"
+#include "stats/experiment.hpp"
+#include "util/math.hpp"
+
+namespace {
+
+// Plain CMS with exact cells, for the equal-budget comparison.
+class ExactSketch {
+ public:
+  ExactSketch(std::size_t width, int depth, std::uint64_t seed)
+      : width_(width), depth_(depth), seed_(seed),
+        cells_(width * static_cast<std::size_t>(depth), 0) {}
+
+  void add(std::uint64_t key, std::uint64_t l) {
+    for (int row = 0; row < depth_; ++row) cells_[index(key, row)] += l;
+  }
+  [[nodiscard]] double estimate(std::uint64_t key) const {
+    std::uint64_t best = ~std::uint64_t{0};
+    for (int row = 0; row < depth_; ++row) {
+      best = std::min(best, cells_[index(key, row)]);
+    }
+    return static_cast<double>(best);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint64_t key, int row) const {
+    std::uint64_t z = key ^ (static_cast<std::uint64_t>(row) * 0x9e3779b97f4a7c15ULL) ^ seed_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<std::size_t>(row) * width_ + z % width_;
+  }
+
+  std::size_t width_;
+  int depth_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace disco;
+  bench::print_title("table-less monitoring: DISCO sketch cells",
+                     "extension -- sketches are where wide counters hurt most");
+
+  util::Rng rng(2046);
+  const std::uint32_t flow_count = bench::scaled(3000);
+  const auto flows = trace::real_trace_model().make_flows(flow_count, rng);
+  bench::print_workload_summary("real-trace model", flows);
+
+  // Budget: what the per-flow deployment's counters cost (12 bits/flow),
+  // spent instead on sketch cells.
+  const std::size_t budget_bits = flow_count * 12;
+  const int depth = 3;
+  const std::size_t disco_width = budget_bits / (12u * depth);
+  const std::size_t exact_width = budget_bits / (32u * depth);
+  std::cout << "total counter budget " << budget_bits << " bits -> "
+            << disco_width << " DISCO cells/row vs " << exact_width
+            << " exact 32-bit cells/row (depth " << depth << ")\n\n";
+
+  // Per-flow DISCO (needs a flow table on top; counters alone shown here).
+  const auto per_flow = stats::make_method("DISCO");
+  const auto rd = stats::run_accuracy(*per_flow, flows,
+                                      stats::CountingMode::kVolume, 12, 2046);
+
+  core::DiscoSketch::Config config;
+  config.width = disco_width;
+  config.depth = depth;
+  config.cell_bits = 12;
+  config.max_cell_traffic = std::uint64_t{1} << 34;
+  core::DiscoSketch disco_sketch(config);
+  ExactSketch exact_sketch(exact_width, depth, 0x5ce7c4);
+  for (const auto& f : flows) {
+    for (auto l : f.lengths) {
+      disco_sketch.add(f.id, l);
+      exact_sketch.add(f.id, l);
+    }
+  }
+
+  auto mean_err = [&](auto&& estimate) {
+    double err = 0.0;
+    std::size_t n = 0;
+    for (const auto& f : flows) {
+      if (f.bytes() == 0) continue;
+      err += util::relative_error(estimate(f.id), static_cast<double>(f.bytes()));
+      ++n;
+    }
+    return err / static_cast<double>(n);
+  };
+  const double err_sketch =
+      mean_err([&](std::uint64_t id) { return disco_sketch.estimate(id); });
+  const double err_exact =
+      mean_err([&](std::uint64_t id) { return exact_sketch.estimate(id); });
+
+  stats::TextTable table({"scheme", "flow table", "avg relative error",
+                          "counter bits"});
+  table.add_row({"per-flow DISCO (12b)", "required", stats::fmt(rd.errors.average, 3),
+                 std::to_string(rd.storage_bits)});
+  table.add_row({"DISCO sketch (12b cells)", "none", stats::fmt(err_sketch, 3),
+                 std::to_string(disco_sketch.storage_bits())});
+  table.add_row({"exact CMS (32b cells)", "none", stats::fmt(err_exact, 3),
+                 std::to_string(exact_width * 32u * depth)});
+  table.print(std::cout);
+
+  std::cout <<
+      "\nat equal counter budgets the DISCO-cell sketch fits ~2.7x more\n"
+      "cells than a 32-bit CMS, diluting collisions enough to beat it --\n"
+      "discount counting composes with sketches just as it does with a\n"
+      "flow table.  Per-flow counters stay the accuracy king when a table\n"
+      "is affordable; the sketch trades accuracy for zero per-flow state.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 2 reproduction: coefficient of variation of T(S) versus total traffic
+// for b = 1.002 and uniform increments theta in {1, 64, 512, 1024} --
+// Theorem 2 closed form, cross-checked against Monte-Carlo simulation of the
+// actual implementation.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/disco.hpp"
+#include "core/theory.hpp"
+#include "stats/table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// Monte-Carlo: spread of the traffic needed to reach counter value S.
+double simulate_cv(double b, std::uint64_t S, std::uint64_t theta, int runs,
+                   disco::util::Rng& rng) {
+  disco::core::DiscoParams params(b);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    std::uint64_t c = 0;
+    std::uint64_t traffic = 0;
+    while (c < S) {
+      c = params.update(c, theta, rng);
+      traffic += theta;
+    }
+    const auto t = static_cast<double>(traffic);
+    sum += t;
+    sum2 += t * t;
+  }
+  const double mean = sum / runs;
+  const double var = sum2 / runs - mean * mean;
+  return std::sqrt(std::max(0.0, var)) / mean;
+}
+
+}  // namespace
+
+int main() {
+  using namespace disco;
+  bench::print_title("coefficient of variation vs flow length (b = 1.002)",
+                     "paper Fig. 2 / Theorem 2");
+
+  const double b = 1.002;
+  std::cout << "corollary 1 bound sqrt((b-1)/(b+1)) = "
+            << stats::fmt(core::theory::cv_bound(b), 4) << "\n\n";
+
+  stats::TextTable table({"counter S", "E[T(S)] (theta=1)", "e theta=1",
+                          "e theta=64", "e theta=512", "e theta=1024",
+                          "simulated e (theta=64)"});
+  util::Rng rng(7);
+  const int mc_runs = static_cast<int>(300 * bench::scale());
+  for (std::uint64_t S : {64ull, 128ull, 256ull, 512ull, 1024ull, 2048ull,
+                          4096ull, 8192ull}) {
+    // Beyond S ~ 4096 one run needs ~f(S)/theta ~ 1e8 updates at b = 1.002;
+    // the closed form has converged to the bound there, so skip the MC.
+    const std::string sim =
+        S <= 4096 ? stats::fmt(simulate_cv(b, S, 64, mc_runs, rng), 4) : "-";
+    table.add_row({std::to_string(S),
+                   stats::fmt_sci(core::theory::expected_traffic(b, S, 1)),
+                   stats::fmt(core::theory::coefficient_of_variation(b, S, 1), 4),
+                   stats::fmt(core::theory::coefficient_of_variation(b, S, 64), 4),
+                   stats::fmt(core::theory::coefficient_of_variation(b, S, 512), 4),
+                   stats::fmt(core::theory::coefficient_of_variation(b, S, 1024), 4),
+                   sim});
+  }
+  table.print(std::cout);
+  std::cout << "\nall curves rise toward the same bound regardless of theta\n"
+               "(paper Fig. 2); the Monte-Carlo column tracks the theta=64\n"
+               "closed form, pinning the implementation to the analysis.\n"
+               "(closed-form zeros mark the early region where theta > b^c\n"
+               "breaks the geometric-trial model -- the MC value there is\n"
+               "small but nonzero; see core/theory.cpp.)\n";
+  return 0;
+}

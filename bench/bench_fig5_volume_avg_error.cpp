@@ -1,0 +1,27 @@
+// Fig. 5 reproduction: average relative error vs counter size for flow
+// VOLUME counting on the real-trace stand-in -- DISCO vs SAC (plus the
+// fixed-point DISCO path the paper's NP implementation runs).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("average relative error, flow volume counting",
+                     "paper Fig. 5");
+  const auto flows = bench::real_trace_flows();
+  bench::print_workload_summary("real-trace model (NLANR OC-192 stand-in)", flows);
+  std::cout << '\n';
+
+  const std::vector<std::string> methods = {"DISCO", "DISCO-fixed", "SAC"};
+  const std::vector<int> bits = {8, 9, 10, 11, 12};
+  const auto cells = bench::run_bits_sweep(flows, stats::CountingMode::kVolume,
+                                           methods, bits, 501);
+  bench::print_sweep_metric(
+      cells, methods, bits,
+      [](const stats::AccuracyResult& r) { return r.errors.average; }, "R_bar");
+  std::cout << "\npaper Fig. 5 shape: both curves fall with counter size and\n"
+               "DISCO sits below SAC at every budget, with the margin\n"
+               "narrowing as counters grow.\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig. 6 reproduction: MAXIMUM relative error (worst case over all flows)
+// vs counter size, flow volume counting, DISCO vs SAC.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("maximum relative error, flow volume counting",
+                     "paper Fig. 6");
+  const auto flows = bench::real_trace_flows();
+  bench::print_workload_summary("real-trace model (NLANR OC-192 stand-in)", flows);
+  std::cout << '\n';
+
+  const std::vector<std::string> methods = {"DISCO", "DISCO-fixed", "SAC"};
+  const std::vector<int> bits = {8, 9, 10, 11, 12};
+  const auto cells = bench::run_bits_sweep(flows, stats::CountingMode::kVolume,
+                                           methods, bits, 601);
+  bench::print_sweep_metric(
+      cells, methods, bits,
+      [](const stats::AccuracyResult& r) { return r.errors.maximum; }, "R_max");
+  std::cout << "\npaper Fig. 6 shape: DISCO more accurate than SAC even in\n"
+               "the worst case, both improving with counter size.\n";
+  return 0;
+}

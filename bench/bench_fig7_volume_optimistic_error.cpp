@@ -1,0 +1,26 @@
+// Fig. 7 reproduction: 0.95-optimistic relative error vs counter size, flow
+// volume counting -- the probabilistic error guarantee R_o(0.95).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("0.95-optimistic relative error, flow volume counting",
+                     "paper Fig. 7");
+  const auto flows = bench::real_trace_flows();
+  bench::print_workload_summary("real-trace model (NLANR OC-192 stand-in)", flows);
+  std::cout << '\n';
+
+  const std::vector<std::string> methods = {"DISCO", "DISCO-fixed", "SAC"};
+  const std::vector<int> bits = {8, 9, 10, 11, 12};
+  const auto cells = bench::run_bits_sweep(flows, stats::CountingMode::kVolume,
+                                           methods, bits, 701);
+  bench::print_sweep_metric(
+      cells, methods, bits,
+      [](const stats::AccuracyResult& r) { return r.errors.optimistic95; },
+      "R_o(0.95)");
+  std::cout << "\n95% of counters stay below the printed error; DISCO's\n"
+               "guarantee dominates SAC's at every budget (paper Fig. 7).\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 8 reproduction: cumulative distribution of per-flow relative error
+// with 10-bit counters, flow volume counting, DISCO vs SAC.  The paper's
+// headline reading: under DISCO 90% of flows err below ~0.04 and all below
+// ~0.15, while SAC needs ~0.22 and ~0.4.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("CDF of relative error at 10-bit counters", "paper Fig. 8");
+  const auto flows = bench::real_trace_flows();
+  bench::print_workload_summary("real-trace model (NLANR OC-192 stand-in)", flows);
+  std::cout << '\n';
+
+  const int bits = 10;
+  const auto disco_method = stats::make_method("DISCO");
+  const auto sac_method = stats::make_method("SAC");
+  const auto rd =
+      stats::run_accuracy(*disco_method, flows, stats::CountingMode::kVolume, bits, 801);
+  const auto rs =
+      stats::run_accuracy(*sac_method, flows, stats::CountingMode::kVolume, bits, 801);
+
+  stats::TextTable table({"relative error r", "P(R<=r) DISCO", "P(R<=r) SAC"});
+  for (double r : {0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.15, 0.20, 0.25, 0.30,
+                   0.40, 0.50}) {
+    table.add_row({stats::fmt(r, 2), stats::fmt(rd.errors.samples.cdf(r), 3),
+                   stats::fmt(rs.errors.samples.cdf(r), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nquantiles:            DISCO    SAC\n";
+  std::cout << "  90% of flows under  " << stats::fmt(rd.errors.samples.quantile(0.9), 3)
+            << "    " << stats::fmt(rs.errors.samples.quantile(0.9), 3) << '\n';
+  std::cout << "  all flows under     " << stats::fmt(rd.errors.maximum, 3)
+            << "    " << stats::fmt(rs.errors.maximum, 3) << '\n';
+  std::cout << "\npaper Fig. 8: DISCO (0.04, 0.15) vs SAC (0.22, 0.4).\n";
+  return 0;
+}

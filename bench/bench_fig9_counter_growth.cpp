@@ -1,0 +1,57 @@
+// Fig. 9 reproduction: counter growth as a function of flow volume -- the
+// scalability argument.  A full-size (SD) counter's value grows with slope
+// one; SAC's stored estimation part grows linearly with a slope below one
+// (scaled down by 2^(r*mode)); DISCO's counter value is logarithmic in the
+// volume.  All three are *measured* by running the real data structures.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/disco.hpp"
+#include "counters/sac.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("counter value / bits required vs flow volume",
+                     "paper Fig. 9");
+
+  // One provisioning point for the whole sweep, as a deployment would have:
+  // DISCO at b = 1.002; SAC with a 13-bit estimation part and 3 mode bits.
+  const core::DiscoParams params(1.002);
+  counters::SacArray sac(counters::SacArray::Config{1, 16, 13, 1});
+  util::Rng rng(9);
+
+  std::uint64_t disco_c = 0;
+  std::uint64_t fed = 0;
+
+  stats::TextTable table({"flow volume (B)", "SD value (slope 1)", "SD bits",
+                          "SAC A-part", "SAC bits", "DISCO counter",
+                          "DISCO bits"});
+  for (std::uint64_t volume = 1024; volume <= (std::uint64_t{1} << 30);
+       volume <<= 2) {
+    // Continue feeding the same counters up to the next volume point.
+    while (fed < volume) {
+      const std::uint64_t l = std::min<std::uint64_t>(1024, volume - fed);
+      disco_c = params.update(disco_c, l, rng);
+      sac.add(0, l, rng);
+      fed += l;
+    }
+    const std::uint64_t sac_a = sac.estimation_part(0);
+    const int sac_bits = 3 + util::bit_width_u64(sac_a);  // mode + used A bits
+    table.add_row({std::to_string(volume), std::to_string(volume),
+                   std::to_string(util::bit_width_u64(volume)),
+                   std::to_string(sac_a), std::to_string(sac_bits),
+                   std::to_string(disco_c),
+                   std::to_string(util::bit_width_u64(disco_c))});
+  }
+  table.print(std::cout);
+  std::cout << "\nSD's value doubles with the volume (slope one); SAC scales\n"
+               "the stored mantissa down by 2^(r*mode) but still grows\n"
+               "linearly between renormalisations; DISCO's counter grows only\n"
+               "logarithmically -- the larger the flow, the larger DISCO's\n"
+               "memory gain, and the curve is concave in the volume\n"
+               "(paper Fig. 9).  f(0) = 0 and f(1) = 1 also mean DISCO never\n"
+               "loses to SD/SAC on the smallest flows.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmark: single-counter update throughput of every method, on an
+// identical mixed-length packet stream.  Not a paper table -- this is the
+// engineering view of the per-packet cost each scheme pays on a host CPU.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/disco.hpp"
+#include "core/disco_fixed.hpp"
+#include "counters/anls.hpp"
+#include "counters/sac.hpp"
+#include "counters/sd.hpp"
+#include "util/log_table.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr std::uint64_t kMaxFlow = std::uint64_t{1} << 30;
+constexpr int kBits = 12;
+
+std::vector<std::uint32_t> packet_lengths() {
+  std::vector<std::uint32_t> lens;
+  disco::util::Rng rng(5);
+  for (int i = 0; i < 4096; ++i) {
+    lens.push_back(static_cast<std::uint32_t>(rng.uniform_u64(64, 1500)));
+  }
+  return lens;
+}
+
+void BM_DiscoDouble(benchmark::State& state) {
+  const auto lens = packet_lengths();
+  const disco::core::DiscoParams params(disco::util::choose_b(kMaxFlow, kBits));
+  disco::util::Rng rng(1);
+  std::uint64_t c = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    c = params.update(c, lens[i++ & 4095], rng);
+    if (c > 3000) c = 0;  // stay in the operating range
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_DiscoFixedPoint(benchmark::State& state) {
+  const auto lens = packet_lengths();
+  disco::util::LogExpTable::Config config;
+  config.b = disco::util::choose_b(kMaxFlow, kBits);
+  const disco::util::LogExpTable table(config);
+  const disco::core::FixedPointDisco logic(table);
+  disco::util::Rng rng(1);
+  std::uint64_t c = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    c = logic.update(c, lens[i++ & 4095], rng);
+    if (c > 3000) c = 0;
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_Sac(benchmark::State& state) {
+  const auto lens = packet_lengths();
+  disco::counters::SacArray sac(1, kBits);
+  disco::util::Rng rng(1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sac.add(0, lens[i++ & 4095], rng);
+    benchmark::DoNotOptimize(sac.estimation_part(0));
+  }
+}
+
+void BM_AnlsII(benchmark::State& state) {
+  const auto lens = packet_lengths();
+  disco::counters::AnlsIICounter c(disco::util::choose_b(kMaxFlow, kBits));
+  disco::util::Rng rng(1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    c.add(lens[i++ & 4095], rng);
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+
+void BM_SdExact(benchmark::State& state) {
+  const auto lens = packet_lengths();
+  disco::counters::SdArray sd(
+      disco::counters::SdArray::Config{1024, 8, 10,
+                                       disco::counters::SdArray::Cma::kLargestCounterFirst});
+  disco::util::Rng rng(1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sd.add(i & 1023, lens[i & 4095]);
+    ++i;
+    benchmark::DoNotOptimize(sd.value(0));
+  }
+}
+
+void BM_BurstAggregated(benchmark::State& state) {
+  // DISCO behind a burst aggregator (8-packet bursts): the Section VI
+  // fast path.
+  const auto lens = packet_lengths();
+  const disco::core::DiscoParams params(disco::util::choose_b(kMaxFlow, kBits));
+  disco::core::BurstAggregator burst(params);
+  disco::util::Rng rng(1);
+  std::uint64_t c = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    burst.add(lens[i & 4095], c, rng);
+    if ((++i & 7) == 0) burst.flush(c, rng);
+    if (c > 3000) c = 0;
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+BENCHMARK(BM_DiscoDouble);
+BENCHMARK(BM_DiscoFixedPoint);
+BENCHMARK(BM_Sac);
+BENCHMARK(BM_AnlsII);
+BENCHMARK(BM_SdExact);
+BENCHMARK(BM_BurstAggregated);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table II reproduction: average relative error for SAC vs DISCO at 8/9/10
+// bit counters under the three synthetic scenarios and the real-trace
+// stand-in (flow volume counting).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("average relative error under different traffic scenarios",
+                     "paper Table II");
+
+  struct Workload {
+    std::string name;
+    std::vector<trace::FlowRecord> flows;
+  };
+  util::Rng rng(22);
+  const std::uint32_t n = bench::scaled(1500);
+  std::vector<Workload> workloads;
+  workloads.push_back({"Scenario 1", trace::scenario1().make_flows(n, rng)});
+  workloads.push_back({"Scenario 2", trace::scenario2().make_flows(n, rng)});
+  workloads.push_back({"Scenario 3", trace::scenario3().make_flows(n, rng)});
+  workloads.push_back({"Real trace", bench::real_trace_flows()});
+
+  const std::vector<int> bits = {8, 9, 10};
+  stats::TextTable table({"Scenario", "Metric", "SAC@8", "DISCO@8", "SAC@9",
+                          "DISCO@9", "SAC@10", "DISCO@10"});
+  for (const auto& w : workloads) {
+    bench::print_workload_summary(w.name, w.flows);
+    std::vector<std::string> row = {w.name, "avg relative error"};
+    for (int bit : bits) {
+      const auto sac = stats::make_method("SAC");
+      const auto disco = stats::make_method("DISCO");
+      const auto rs =
+          stats::run_accuracy(*sac, w.flows, stats::CountingMode::kVolume, bit, 2202);
+      const auto rd =
+          stats::run_accuracy(*disco, w.flows, stats::CountingMode::kVolume, bit, 2202);
+      row.push_back(stats::fmt(rs.errors.average, 3));
+      row.push_back(stats::fmt(rd.errors.average, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\npaper Table II shape: error falls with counter size, and\n"
+               "DISCO beats SAC at equal bits in every scenario (paper\n"
+               "reference points: scenario 1 @8 bits SAC 0.089 / DISCO 0.052;\n"
+               "real trace @10 bits SAC 0.054 / DISCO 0.012).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table III reproduction: ANLS-I (the E1 sampling extension) on flow volume
+// counting -- relative errors too large to be acceptable, driven by
+// intra-flow packet length variance.  Prints the share of flows with length
+// variance > 10, the mean variance (paper: 1e3..1e4), and the error
+// comparison against DISCO at the same 10-bit budget.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace disco;
+  bench::print_title("ANLS-I (E1) fails for flow volume counting",
+                     "paper Table III");
+
+  struct Workload {
+    std::string name;
+    std::vector<trace::FlowRecord> flows;
+  };
+  util::Rng rng(33);
+  const std::uint32_t n = bench::scaled(1500);
+  std::vector<Workload> workloads;
+  workloads.push_back({"Scenario 1", trace::scenario1().make_flows(n, rng)});
+  workloads.push_back({"Scenario 2", trace::scenario2().make_flows(n, rng)});
+  workloads.push_back({"Scenario 3", trace::scenario3().make_flows(n, rng)});
+  workloads.push_back({"Real trace", bench::real_trace_flows()});
+
+  const int bits = 10;
+  stats::TextTable table({"Scenario", "pkt len var>10", "mean pkt len var",
+                          "ANLS-I avg R", "DISCO avg R"});
+  for (const auto& w : workloads) {
+    const auto summary = trace::summarize(w.flows);
+    const auto anls1 = stats::make_method("ANLS-I");
+    const auto disco = stats::make_method("DISCO");
+    const auto ra =
+        stats::run_accuracy(*anls1, w.flows, stats::CountingMode::kVolume, bits, 3303);
+    const auto rd =
+        stats::run_accuracy(*disco, w.flows, stats::CountingMode::kVolume, bits, 3303);
+    table.add_row({w.name,
+                   stats::fmt(summary.share_length_variance_gt10 * 100.0, 2) + "%",
+                   stats::fmt_sci(summary.mean_length_variance),
+                   stats::fmt(ra.errors.average, 2),
+                   stats::fmt(rd.errors.average, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper Table III: ANLS-I errors of 6.23-18.15 (vs DISCO's\n"
+               "0.012-0.038 in Table II) on traffic whose packet length\n"
+               "variance exceeds 10 for ~100% of flows (62.78% on the real\n"
+               "trace).  Sampling-based byte accumulation cannot survive\n"
+               "length variance; DISCO's discounted whole-packet update can.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// continuous_monitoring: measurement epochs plus checkpoint/restore -- the
+// operational lifecycle of a deployed monitor.
+//
+//   $ ./continuous_monitoring [epochs]
+//
+// Simulates a monitor running across several measurement intervals: each
+// epoch ingests fresh traffic, exports a per-flow report, and rotates; in
+// the middle of one epoch the monitor is snapshotted to disk and restored,
+// demonstrating that monitoring resumes bit-exactly after a restart.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "flowtable/monitor.hpp"
+#include "stats/table.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+disco::flowtable::FiveTuple tuple_for(std::uint32_t flow_id, std::uint64_t epoch) {
+  // Different epochs see (mostly) different flow populations, as real
+  // measurement intervals do.
+  return disco::flowtable::FiveTuple{
+      0x0a000000u + flow_id + static_cast<std::uint32_t>(epoch) * 1000u,
+      0xc0a80101u, static_cast<std::uint16_t>(1024 + flow_id), 443, 6};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace disco;
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  flowtable::FlowMonitor monitor({.max_flows = 8192,
+                                  .counter_bits = 12,
+                                  .max_flow_bytes = 1 << 28,
+                                  .max_flow_packets = 1 << 20,
+                                  .seed = 20100621});  // ICDCS'10 in Genova
+
+  util::Rng traffic_rng(17);
+  stats::TextTable summary({"epoch", "flows", "packets", "est. bytes",
+                            "heaviest flow (est. B)"});
+
+  for (int e = 0; e < epochs; ++e) {
+    auto flows = trace::scenario1().make_flows(600, traffic_rng);
+    trace::PacketStream stream(std::move(flows), 1, 8, 100 + e);
+    std::uint64_t mid = stream.total_packets() / 2;
+    std::uint64_t n = 0;
+    while (auto p = stream.next()) {
+      (void)monitor.ingest(tuple_for(p->flow_id, monitor.epoch()), p->length);
+      // Mid-epoch restart drill in epoch 0: snapshot, drop, restore.
+      if (e == 0 && ++n == mid) {
+        std::stringstream checkpoint;
+        monitor.snapshot(checkpoint);
+        std::cout << "[epoch 0] snapshot taken at packet " << n << " ("
+                  << checkpoint.str().size() << " bytes); restoring...\n";
+        monitor = flowtable::FlowMonitor::restore(checkpoint);
+      }
+    }
+
+    const auto report = monitor.rotate();
+    double heaviest = 0.0;
+    for (const auto& f : report.flows) heaviest = std::max(heaviest, f.bytes);
+    summary.add_row({std::to_string(report.epoch),
+                     std::to_string(report.flows.size()),
+                     std::to_string(monitor.packets_seen()),
+                     std::to_string(static_cast<std::uint64_t>(report.totals.bytes)),
+                     std::to_string(static_cast<std::uint64_t>(heaviest))});
+  }
+
+  std::cout << '\n';
+  summary.print(std::cout);
+  std::cout << "\neach rotation exports the interval's per-flow estimates and\n"
+               "frees the whole SRAM budget for the next interval; the\n"
+               "mid-epoch restore shows state surviving a restart with the\n"
+               "random stream position intact (see test_monitor_lifecycle\n"
+               "for the bit-exactness proof).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// np_pipeline: drive the simulated IXP2850 test-bench from the command line.
+//
+//   $ ./np_pipeline [num_mes] [burst_hi] [aggregate 0|1] [trace.dtrc]
+//
+// Runs the paper's Section VI setup -- TGEN MEs feeding packet handlers
+// through the scratchpad ring into DISCO MEs with a shared 96 Kb Log&Exp
+// table -- and prints the throughput/error/utilisation the hardware
+// experiment reports.  With a fourth argument, replays a stored trace (from
+// disco_tracegen) through the NP model instead of the synthetic pattern.
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/np_system.hpp"
+#include "stats/table.hpp"
+#include "trace/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace disco;
+  sim::NpConfig config;
+  config.num_mes = argc > 1 ? std::atoi(argv[1]) : 1;
+  config.burst_hi = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1;
+  config.burst_aggregation = argc > 3 && std::atoi(argv[3]) != 0;
+  config.flow_count = 2560;
+  config.mean_packets = 400.0;
+
+  std::cout << "simulated IXP2850: " << config.num_mes << " MicroEngine(s), "
+            << "burst 1-" << config.burst_hi << ", on-chip aggregation "
+            << (config.burst_aggregation ? "on" : "off") << "\n";
+
+  sim::NpResult r;
+  if (argc > 4) {
+    const auto data = trace::read_trace_file(argv[4]);
+    std::cout << "traffic: replaying " << data.packets.size()
+              << " packets / " << data.flow_count << " flows from " << argv[4]
+              << "\n\n";
+    r = sim::run_np_simulation_on_trace(config, data.packets, data.flow_count);
+  } else {
+    std::cout << "traffic: " << config.flow_count
+              << " flows (80/20 volume split), packet lengths 64 B - 1 KB\n\n";
+    r = sim::run_np_simulation(config);
+  }
+
+  stats::TextTable table({"metric", "value"});
+  table.add_row({"packets processed", std::to_string(r.packets)});
+  table.add_row({"bytes processed", std::to_string(r.bytes)});
+  table.add_row({"makespan", stats::fmt(static_cast<double>(r.makespan_ns) / 1e6, 2) + " ms"});
+  table.add_row({"throughput", stats::fmt(r.throughput_gbps, 2) + " Gbps"});
+  table.add_row({"avg relative error", stats::fmt(r.avg_relative_error, 4)});
+  table.add_row({"SRAM counter updates", std::to_string(r.sram_updates)});
+  table.add_row({"SRAM channel utilisation", stats::fmt(r.sram_utilization, 3)});
+  table.add_row({"ring utilisation", stats::fmt(r.ring_utilization, 3)});
+  table.add_row({"Log&Exp table",
+                 std::to_string(r.table_storage_bits / 1024) + " Kb on-chip"});
+  table.print(std::cout);
+
+  std::cout << "\npaper reference (Table V): one ME reaches 11.1 Gbps at\n"
+               "burst 1; bursts 1-8 with aggregation reach 28.6 Gbps with\n"
+               "half the error; scaling in MEs is near-linear.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "core/disco.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace disco::core {
+
+namespace {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, relative
+/// error < 1.2e-9) -- enough for confidence intervals.
+double probit(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+UpdateDecision DiscoParams::decide(std::uint64_t c, std::uint64_t l) const noexcept {
+  return decide_real(c, static_cast<double>(l));
+}
+
+UpdateDecision DiscoParams::decide_real(std::uint64_t c, double l) const noexcept {
+  const auto& s = scale();
+  const double ln_b = s.ln_b();
+  const double bm1 = s.b() - 1.0;
+  const double fc = std::expm1(static_cast<double>(c) * ln_b) / bm1;
+  const double target = fc + l;
+  if (!std::isfinite(target)) {
+    // The counter sits beyond double range (far past any provisioned
+    // budget): treat it as numerically saturated rather than invoke UB on
+    // the ceil cast below.
+    return UpdateDecision{0, 0.0};
+  }
+
+  // j = ceil(f^-1(target)) = smallest integer >= c+1 with f(j) >= target.
+  // Computed via the closed form, then nudged to defeat floating-point noise
+  // at exact-integer landings (where p_d must come out as 1, not roll over to
+  // the next step with p_d ~ 0).
+  const double j_real = std::log1p(target * bm1) / ln_b;
+  auto j = static_cast<std::uint64_t>(std::ceil(j_real - 1e-9));
+  if (j <= c) j = c + 1;
+  const double tolerance = 1e-9 * std::max(1.0, target);
+  // One exp serves both f(j-1) = (b^(j-1) - 1)/(b - 1) and the interval
+  // width f(j) - f(j-1) = b^(j-1); the nudge loop rarely iterates.
+  double b_jm1 = std::exp(static_cast<double>(j - 1) * ln_b);
+  while ((b_jm1 * s.b() - 1.0) / bm1 < target - tolerance) {
+    ++j;
+    b_jm1 *= s.b();
+  }
+
+  UpdateDecision d;
+  d.delta = j - c - 1;
+  const double f_lo = (b_jm1 - 1.0) / bm1;
+  d.p_d = std::clamp((target - f_lo) / b_jm1, 0.0, 1.0);
+  return d;
+}
+
+std::uint64_t DiscoParams::merge(std::uint64_t c1, std::uint64_t c2,
+                                 util::Rng& rng) const noexcept {
+  if (c2 == 0) return c1;
+  if (c1 == 0) return c2;
+  // Apply f(c2) -- the second counter's traffic estimate -- as one real-
+  // valued discounted update to c1: E[f(result)] = f(c1) + f(c2).
+  const double addend = estimate(c2);
+  const UpdateDecision d = decide_real(c1, addend);
+  return c1 + d.delta + (rng.bernoulli(d.p_d) ? 1 : 0);
+}
+
+DiscoParams::ConfidenceInterval DiscoParams::confidence_interval(
+    std::uint64_t c, double confidence) const {
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument(
+        "DiscoParams::confidence_interval: confidence must be in (0, 1)");
+  }
+  ConfidenceInterval ci;
+  ci.estimate = estimate(c);
+  // Corollary 1 bounds the coefficient of variation by sqrt((b-1)/(b+1));
+  // under the normal approximation the two-sided interval is z * e wide.
+  const double e = std::sqrt((b() - 1.0) / (b() + 1.0));
+  const double z = probit(0.5 + confidence / 2.0);
+  ci.low = std::max(0.0, ci.estimate * (1.0 - z * e));
+  ci.high = ci.estimate * (1.0 + z * e);
+  return ci;
+}
+
+}  // namespace disco::core

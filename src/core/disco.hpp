@@ -1,0 +1,237 @@
+// DISCO: DIScount COunting (Hu et al., ICDCS 2010) -- the paper's core
+// contribution.
+//
+// A DISCO counter holds a small integer c that is regulated to track
+// f^-1(n) of the true accumulated traffic n, where
+//
+//     f(c) = (b^c - 1) / (b - 1),     b > 1.                    (eq. 1)
+//
+// For a packet of l bytes (l = 1 for flow *size* counting) the update is
+//
+//     delta(c,l) = ceil( f^-1(l + f(c)) - c ) - 1               (eq. 2)
+//     p_d(c,l)   = (l + f(c) - f(c+delta)) /
+//                  (f(c+delta+1) - f(c+delta))                  (eq. 3)
+//     c <- c + delta + 1  with probability p_d, else c + delta  (Alg. 1)
+//
+// and f(c) is an unbiased estimator of n (Theorem 1).  Because c grows like
+// log_b(n), a fixed-width SRAM counter of a handful of bits suffices for
+// flows of arbitrary practical length.
+//
+// This header provides:
+//   * DiscoParams     -- base b plus a provisioning factory from an SRAM
+//                        budget (counter bits + largest expected flow);
+//   * DiscoCounter    -- a single counter, double-precision math path;
+//   * DiscoArray      -- N counters bit-packed at exactly `bits` per counter
+//                        with overflow accounting;
+//   * BurstAggregator -- the paper's Section VI optimisation: accumulate a
+//                        burst in a small exact on-chip counter and apply it
+//                        as one discounted update.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitpack.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace disco::core {
+
+/// Result of a single counter-update computation, exposed for tests, the
+/// fixed-point implementation, and the walkthrough example (paper Fig. 1).
+struct UpdateDecision {
+  std::uint64_t delta = 0;  ///< deterministic part of the increment
+  double p_d = 0.0;         ///< probability of the extra +1
+};
+
+/// Parameters of a DISCO deployment: the base b (and derived scale).
+class DiscoParams {
+ public:
+  explicit DiscoParams(double b) : scale_(b) {}
+
+  /// Provision for an SRAM budget: smallest b such that `counter_bits`-wide
+  /// counters can represent flows up to `max_flow` (paper's evaluation sweeps
+  /// counter bits and derives b exactly this way).
+  ///
+  /// The guarantee is in expectation: Theorem 3 bounds E[c] by f^-1(n), but
+  /// individual counter trajectories fluctuate a few values above it.  A
+  /// deployment that must never saturate should pass a max_flow with
+  /// headroom (e.g. 2x the largest expected flow); the counter cost of that
+  /// headroom is only log_b(2).
+  static DiscoParams for_budget(std::uint64_t max_flow, int counter_bits) {
+    return DiscoParams(util::choose_b(max_flow, counter_bits));
+  }
+
+  [[nodiscard]] double b() const noexcept { return scale_.b(); }
+  [[nodiscard]] const util::GeometricScale& scale() const noexcept { return scale_; }
+
+  /// Unbiased estimate for counter value c (Theorem 1).
+  [[nodiscard]] double estimate(std::uint64_t c) const noexcept {
+    return scale_.f(static_cast<double>(c));
+  }
+
+  /// Inverse provisioning query: counter value needed to represent traffic n
+  /// (upper bound on E[c] by Theorem 3).
+  [[nodiscard]] double counter_bound(double n) const noexcept {
+    return scale_.f_inv(n);
+  }
+
+  /// Computes (delta, p_d) for counter value c and packet length l > 0.
+  [[nodiscard]] UpdateDecision decide(std::uint64_t c, std::uint64_t l) const noexcept;
+
+  /// Merges two DISCO counters of the SAME deployment (same b) into one:
+  /// the result estimates the combined traffic, unbiasedly.  Works in
+  /// f-space -- merge(c1, c2) applies f(c2) as one discounted update to c1
+  /// -- so distributed monitors (shards, epochs, mirrored taps) can
+  /// aggregate without ever expanding to full-size counters.  The merge adds
+  /// one update's worth of variance, bounded by Theorem 2 as usual.
+  [[nodiscard]] std::uint64_t merge(std::uint64_t c1, std::uint64_t c2,
+                                    util::Rng& rng) const noexcept;
+
+  /// Two-sided confidence interval for the traffic estimate from counter
+  /// value c: [low, high] such that the true n lies inside with probability
+  /// ~confidence under the Theorem 2 normal approximation.  `confidence` in
+  /// (0, 1); the relative half-width is z * cv_bound(b).
+  struct ConfidenceInterval {
+    double low = 0.0;
+    double estimate = 0.0;
+    double high = 0.0;
+  };
+  [[nodiscard]] ConfidenceInterval confidence_interval(
+      std::uint64_t c, double confidence = 0.95) const;
+
+  /// Applies Algorithm 1: returns the new counter value.
+  [[nodiscard]] std::uint64_t update(std::uint64_t c, std::uint64_t l,
+                                     util::Rng& rng) const noexcept {
+    if (l == 0) return c;
+    const UpdateDecision d = decide(c, l);
+    return c + d.delta + (rng.bernoulli(d.p_d) ? 1 : 0);
+  }
+
+ private:
+  /// Algorithm 1's decision for a real-valued addend (merge path).
+  [[nodiscard]] UpdateDecision decide_real(std::uint64_t c, double l) const noexcept;
+
+  util::GeometricScale scale_;
+};
+
+/// A single DISCO counter (value + params reference semantics kept simple by
+/// storing params by value; DiscoParams is two doubles).
+class DiscoCounter {
+ public:
+  explicit DiscoCounter(DiscoParams params) : params_(params) {}
+
+  /// Count a packet of l bytes (l = 1 for flow size counting).
+  void add(std::uint64_t l, util::Rng& rng) noexcept {
+    value_ = params_.update(value_, l, rng);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] double estimate() const noexcept { return params_.estimate(value_); }
+  [[nodiscard]] const DiscoParams& params() const noexcept { return params_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  DiscoParams params_;
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-width array of DISCO counters, bit-packed at exactly `bits` bits per
+/// counter so SRAM accounting matches the paper's "largest counter bits"
+/// methodology.  Overflowing updates saturate the counter and are counted.
+class DiscoArray {
+ public:
+  DiscoArray(std::size_t size, int bits, DiscoParams params)
+      : params_(params), store_(size, bits) {}
+
+  /// Provisioned constructor: picks b so that `bits` covers `max_flow`.
+  DiscoArray(std::size_t size, int bits, std::uint64_t max_flow)
+      : DiscoArray(size, bits, DiscoParams::for_budget(max_flow, bits)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+  [[nodiscard]] int bits() const noexcept { return store_.width(); }
+  [[nodiscard]] const DiscoParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t storage_bits() const noexcept { return store_.storage_bits(); }
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflows_; }
+
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) noexcept {
+    const std::uint64_t c = store_.get(i);
+    const std::uint64_t next = params_.update(c, l, rng);
+    if (!store_.try_add(i, next - c)) ++overflows_;
+  }
+
+  [[nodiscard]] std::uint64_t value(std::size_t i) const noexcept { return store_.get(i); }
+  [[nodiscard]] double estimate(std::size_t i) const noexcept {
+    return params_.estimate(store_.get(i));
+  }
+
+  /// Restores a raw counter value (checkpoint/restore path).  The value must
+  /// fit the configured width.
+  void set_value(std::size_t i, std::uint64_t v) {
+    if (v > store_.max_value()) {
+      throw std::out_of_range("DiscoArray::set_value: value exceeds counter width");
+    }
+    store_.set(i, v);
+  }
+
+  /// Largest counter value currently held -- determines the bits a
+  /// fixed-width deployment of this workload actually needed.
+  [[nodiscard]] std::uint64_t max_value() const noexcept {
+    std::uint64_t m = 0;
+    for (std::size_t i = 0; i < store_.size(); ++i) m = std::max(m, store_.get(i));
+    return m;
+  }
+
+  void reset() noexcept {
+    store_.fill_zero();
+    overflows_ = 0;
+  }
+
+ private:
+  DiscoParams params_;
+  util::BitPackedArray store_;
+  std::uint64_t overflows_ = 0;
+};
+
+/// Section VI burst optimisation: back-to-back packets of one flow are first
+/// accumulated exactly in a small on-chip counter; when the burst ends (or
+/// the small counter would overflow) the total is applied as a single
+/// discounted update.  Fewer SRAM round-trips *and* lower estimation variance
+/// (one large update replaces several small ones).
+class BurstAggregator {
+ public:
+  /// `scratch_bits` bounds the exact on-chip accumulator (paper: "a small
+  /// naive on-chip counter").
+  BurstAggregator(DiscoParams params, int scratch_bits = 16)
+      : params_(params),
+        scratch_limit_((std::uint64_t{1} << scratch_bits) - 1) {}
+
+  /// Adds a packet to the current burst.  Returns the number of SRAM counter
+  /// updates performed (0 while accumulating, 1 on forced flush).
+  int add(std::uint64_t l, std::uint64_t& counter, util::Rng& rng) noexcept {
+    if (l >= scratch_limit_ - pending_) {
+      pending_ += l;
+      flush(counter, rng);
+      return 1;
+    }
+    pending_ += l;
+    return 0;
+  }
+
+  /// Ends the burst: applies any pending bytes as one update.
+  int flush(std::uint64_t& counter, util::Rng& rng) noexcept {
+    if (pending_ == 0) return 0;
+    counter = params_.update(counter, pending_, rng);
+    pending_ = 0;
+    return 1;
+  }
+
+  [[nodiscard]] std::uint64_t pending() const noexcept { return pending_; }
+
+ private:
+  DiscoParams params_;
+  std::uint64_t scratch_limit_;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace disco::core

@@ -1,0 +1,5 @@
+#include "core/disco_fixed.hpp"
+
+// All members are inline today; the translation unit anchors the library and
+// keeps a home for future out-of-line additions.
+namespace disco::core {}

@@ -1,0 +1,105 @@
+// Fixed-point DISCO -- the network-processor implementation path.
+//
+// The IXP2850 has no floating point and no log/exp instructions; the paper's
+// implementation precomputes both into a combined 96 Kb Log&Exp table
+// (util::LogExpTable).  This module reimplements Algorithm 1 on top of that
+// table using integer arithmetic only.
+//
+// A pleasant property of this construction (proved in tests/test_disco_fixed
+// by simulation): because the update probability is computed *from the
+// quantised table itself*,
+//
+//     E[ftilde(c')] = ftilde(c) + l      exactly,
+//
+// i.e. the fixed-point estimator ftilde(c) is unbiased with respect to the
+// true traffic.  Table quantisation costs only variance, not bias, which is
+// why the paper's NP implementation sees errors (0.013) comparable to the
+// floating-point simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitpack.hpp"
+#include "util/log_table.hpp"
+#include "util/rng.hpp"
+
+namespace disco::core {
+
+/// Integer-only (delta, accept-threshold) decision derived from the table.
+struct FixedUpdateDecision {
+  std::uint64_t delta = 0;
+  std::uint64_t numerator = 0;    ///< p_d = numerator / denominator, exact
+  std::uint64_t denominator = 1;
+};
+
+/// DISCO update/estimate logic bound to a shared Log&Exp table.  The table is
+/// borrowed (one table serves every counter of a deployment, exactly as the
+/// 96 Kb on-chip table serves all MicroEngines); the caller owns its
+/// lifetime.
+class FixedPointDisco {
+ public:
+  explicit FixedPointDisco(const util::LogExpTable& table) : table_(&table) {}
+
+  [[nodiscard]] const util::LogExpTable& table() const noexcept { return *table_; }
+
+  [[nodiscard]] FixedUpdateDecision decide(std::uint64_t c,
+                                           std::uint64_t l) const noexcept {
+    FixedUpdateDecision d;
+    const std::uint64_t fc = table_->f(c);
+    const std::uint64_t target = fc + l;
+    const std::uint64_t j = table_->inverse_at_least(target, c);
+    d.delta = j - c - 1;
+    const std::uint64_t f_lo = table_->f(j - 1);
+    d.numerator = target - f_lo;
+    d.denominator = table_->f(j) - f_lo;
+    return d;
+  }
+
+  /// Algorithm 1 with an exact integer Bernoulli trial.
+  [[nodiscard]] std::uint64_t update(std::uint64_t c, std::uint64_t l,
+                                     util::Rng& rng) const noexcept {
+    if (l == 0) return c;
+    const FixedUpdateDecision d = decide(c, l);
+    const bool extra =
+        rng.uniform_u64(0, d.denominator - 1) < d.numerator;
+    return c + d.delta + (extra ? 1 : 0);
+  }
+
+  /// Unbiased estimate of accumulated traffic from counter value c.
+  [[nodiscard]] double estimate(std::uint64_t c) const noexcept {
+    return static_cast<double>(table_->f(c));
+  }
+
+ private:
+  const util::LogExpTable* table_;
+};
+
+/// Bit-packed array of fixed-point DISCO counters sharing one table.
+class FixedPointDiscoArray {
+ public:
+  FixedPointDiscoArray(std::size_t size, int bits, const util::LogExpTable& table)
+      : logic_(table), store_(size, bits) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+  [[nodiscard]] int bits() const noexcept { return store_.width(); }
+  [[nodiscard]] std::size_t storage_bits() const noexcept { return store_.storage_bits(); }
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflows_; }
+
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) noexcept {
+    const std::uint64_t c = store_.get(i);
+    const std::uint64_t next = logic_.update(c, l, rng);
+    if (!store_.try_add(i, next - c)) ++overflows_;
+  }
+
+  [[nodiscard]] std::uint64_t value(std::size_t i) const noexcept { return store_.get(i); }
+  [[nodiscard]] double estimate(std::size_t i) const noexcept {
+    return logic_.estimate(store_.get(i));
+  }
+
+ private:
+  FixedPointDisco logic_;
+  util::BitPackedArray store_;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace disco::core

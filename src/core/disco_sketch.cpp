@@ -1,0 +1,46 @@
+#include "core/disco_sketch.hpp"
+
+namespace disco::core {
+
+DiscoSketch::DiscoSketch(const Config& config)
+    : config_(config),
+      params_(DiscoParams::for_budget(config.max_cell_traffic, config.cell_bits)),
+      cells_(config.width * static_cast<std::size_t>(config.depth),
+             config.cell_bits),
+      rng_(config.rng_seed) {
+  if (config.width < 2 || config.depth < 1 || config.depth > 16) {
+    throw std::invalid_argument("DiscoSketch: need width >= 2, depth in [1, 16]");
+  }
+}
+
+std::size_t DiscoSketch::cell_index(std::uint64_t flow_key, int row) const noexcept {
+  // SplitMix64 finaliser over (key, row, seed); rows use disjoint salts.
+  std::uint64_t z = flow_key ^ (static_cast<std::uint64_t>(row) * 0x9e3779b97f4a7c15ULL) ^
+                    config_.hash_seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(row) * config_.width +
+         static_cast<std::size_t>(z % config_.width);
+}
+
+void DiscoSketch::add(std::uint64_t flow_key, std::uint64_t length) {
+  if (length == 0) return;
+  for (int row = 0; row < config_.depth; ++row) {
+    const std::size_t i = cell_index(flow_key, row);
+    const std::uint64_t c = cells_.get(i);
+    const std::uint64_t next = params_.update(c, length, rng_);
+    if (!cells_.try_add(i, next - c)) ++overflows_;
+  }
+}
+
+double DiscoSketch::estimate(std::uint64_t flow_key) const {
+  double best = -1.0;
+  for (int row = 0; row < config_.depth; ++row) {
+    const double e = params_.estimate(cells_.get(cell_index(flow_key, row)));
+    if (best < 0.0 || e < best) best = e;
+  }
+  return best < 0.0 ? 0.0 : best;
+}
+
+}  // namespace disco::core

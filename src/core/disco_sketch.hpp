@@ -1,0 +1,76 @@
+// DiscoSketch: a Count-Min sketch whose cells are DISCO counters.
+//
+// The paper's system pairs per-flow counters with an exact flow table.  The
+// table-less alternative is a sketch: d hash rows of w cells, each flow
+// added to one cell per row, queries taking the minimum across rows (Cormode
+// & Muthukrishnan's Count-Min, a close cousin of the paper's references).
+// Sketch cells accumulate many flows, so full-size cells are wide -- exactly
+// the problem DISCO's discount counting solves.  A DiscoSketch cell holds a
+// few bits regardless of how much traffic lands in it:
+//
+//   * update: the packet's length is applied to one DISCO cell per row
+//     (Algorithm 1 per cell, independent randomness);
+//   * query: min over the rows' unbiased cell estimates -- the classic CMS
+//     one-sided collision bias (over-estimation) plus DISCO's two-sided
+//     estimation noise, both measured in bench_ablation_sketch;
+//   * memory: d * w * bits packed, plus nothing per flow -- no flow table.
+//
+// The ordinary accuracy/width trade of CMS applies: widen w to dilute
+// collisions, deepen d to tighten the min.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/disco.hpp"
+#include "util/bitpack.hpp"
+#include "util/rng.hpp"
+
+namespace disco::core {
+
+class DiscoSketch {
+ public:
+  struct Config {
+    std::size_t width = 1024;   ///< w: cells per row
+    int depth = 3;              ///< d: rows (independent hashes)
+    int cell_bits = 12;         ///< DISCO counter width per cell
+    /// Largest traffic a single CELL may need to represent (provisioning
+    /// input for b; remember cells absorb collisions, so budget above the
+    /// largest flow).
+    std::uint64_t max_cell_traffic = std::uint64_t{1} << 32;
+    std::uint64_t hash_seed = 0x5ce7c4;
+    std::uint64_t rng_seed = 0xd15c05;
+  };
+
+  explicit DiscoSketch(const Config& config);
+
+  /// Adds a packet of `length` bytes (or 1 for flow size) to `flow_key`'s
+  /// cells.  Any 64-bit flow identity works (hash a FiveTuple upstream).
+  void add(std::uint64_t flow_key, std::uint64_t length);
+
+  /// Point query: estimated traffic of `flow_key` (>= truth in expectation;
+  /// collision bias is one-sided up, DISCO noise two-sided).
+  [[nodiscard]] double estimate(std::uint64_t flow_key) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const DiscoParams& params() const noexcept { return params_; }
+
+  /// Counter SRAM in bits: d * w * cell_bits.
+  [[nodiscard]] std::size_t storage_bits() const noexcept {
+    return cells_.storage_bits();
+  }
+
+  /// Cells that saturated their bit budget (provisioning feedback).
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflows_; }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::uint64_t flow_key, int row) const noexcept;
+
+  Config config_;
+  DiscoParams params_;
+  util::BitPackedArray cells_;  // row-major d x w
+  util::Rng rng_;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace disco::core

@@ -1,0 +1,130 @@
+// Generic discount counting over arbitrary regulation functions.
+//
+// DISCO's update rule (Algorithm 1) never uses any property of
+// f(c) = (b^c - 1)/(b - 1) beyond "increasing and convex with f(0) = 0":
+// given ANY such f, incrementing by delta + Bernoulli(p_d) with
+//
+//     delta = ceil(f^-1(l + f(c))) - 1 - c
+//     p_d   = (l + f(c) - f(c + delta)) / (f(c + delta + 1) - f(c + delta))
+//
+// keeps E[f(c')] = f(c) + l, so f(c) stays an unbiased estimator.  The
+// choice of f decides the memory/accuracy profile:
+//   * geometric f (the paper): counter ~ log_b(n); relative error bounded by
+//     a constant (Corollary 1);
+//   * polynomial f (e.g. f(c) = c + a c^2): counter ~ sqrt(n/a); relative
+//     error VANISHES as flows grow (at a steeper memory price) -- the
+//     trade-off the ANLS paper discusses and bench_ablation_regulation
+//     measures.
+//
+// GenericDisco<F> implements Algorithm 1 for any RegulationFunction.  The
+// production path (DiscoParams) stays the hand-optimised geometric version;
+// tests pin GenericDisco<GeometricRegulation> to it exactly.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "core/disco.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace disco::core {
+
+/// An increasing convex regulation function with f(0) = 0, plus its inverse.
+template <typename F>
+concept RegulationFunction = requires(const F f, double x) {
+  { f.value(x) } -> std::convertible_to<double>;    // f(x)
+  { f.inverse(x) } -> std::convertible_to<double>;  // f^-1(x)
+};
+
+/// The paper's geometric regulation (eq. 1), as a RegulationFunction.
+class GeometricRegulation {
+ public:
+  explicit GeometricRegulation(double b) : scale_(b) {}
+  [[nodiscard]] double value(double c) const noexcept { return scale_.f(c); }
+  [[nodiscard]] double inverse(double n) const noexcept { return scale_.f_inv(n); }
+  [[nodiscard]] double b() const noexcept { return scale_.b(); }
+
+ private:
+  util::GeometricScale scale_;
+};
+
+/// Polynomial regulation f(c) = c + a c^2 (a > 0): counter grows like
+/// sqrt(n/a), relative error decays like n^-1/4 instead of saturating.
+class QuadraticRegulation {
+ public:
+  explicit QuadraticRegulation(double a) : a_(a) {
+    if (!(a > 0.0)) {
+      throw std::invalid_argument("QuadraticRegulation: a must be positive");
+    }
+  }
+
+  [[nodiscard]] double value(double c) const noexcept { return c + a_ * c * c; }
+
+  [[nodiscard]] double inverse(double n) const noexcept {
+    // Positive root of a c^2 + c - n = 0.
+    return (std::sqrt(1.0 + 4.0 * a_ * n) - 1.0) / (2.0 * a_);
+  }
+
+  [[nodiscard]] double a() const noexcept { return a_; }
+
+  /// Provisioning: the `a` whose counter stays within `counter_bits` bits
+  /// for flows up to max_flow: value(2^bits - 1) >= max_flow.
+  [[nodiscard]] static QuadraticRegulation for_budget(std::uint64_t max_flow,
+                                                      int counter_bits) {
+    const double c_max =
+        static_cast<double>((std::uint64_t{1} << counter_bits) - 1);
+    const double a = (static_cast<double>(max_flow) - c_max) / (c_max * c_max);
+    return QuadraticRegulation(a > 1e-12 ? a : 1e-12);
+  }
+
+ private:
+  double a_;
+};
+
+/// Algorithm 1 over an arbitrary regulation function.
+template <RegulationFunction F>
+class GenericDisco {
+ public:
+  explicit GenericDisco(F regulation) : f_(std::move(regulation)) {}
+
+  [[nodiscard]] const F& regulation() const noexcept { return f_; }
+
+  [[nodiscard]] UpdateDecision decide(std::uint64_t c, std::uint64_t l) const noexcept {
+    const double fc = f_.value(static_cast<double>(c));
+    const double target = fc + static_cast<double>(l);
+    if (!std::isfinite(target)) return UpdateDecision{0, 0.0};  // saturated
+    const double j_real = f_.inverse(target);
+    auto j = static_cast<std::uint64_t>(std::ceil(j_real - 1e-9));
+    if (j <= c) j = c + 1;
+    const double tolerance = 1e-9 * std::max(1.0, target);
+    while (f_.value(static_cast<double>(j)) < target - tolerance) ++j;
+
+    UpdateDecision d;
+    d.delta = j - c - 1;
+    const double f_lo = f_.value(static_cast<double>(j - 1));
+    const double f_hi = f_.value(static_cast<double>(j));
+    d.p_d = std::clamp((target - f_lo) / (f_hi - f_lo), 0.0, 1.0);
+    return d;
+  }
+
+  [[nodiscard]] std::uint64_t update(std::uint64_t c, std::uint64_t l,
+                                     util::Rng& rng) const noexcept {
+    if (l == 0) return c;
+    const UpdateDecision d = decide(c, l);
+    return c + d.delta + (rng.bernoulli(d.p_d) ? 1 : 0);
+  }
+
+  [[nodiscard]] double estimate(std::uint64_t c) const noexcept {
+    return f_.value(static_cast<double>(c));
+  }
+
+ private:
+  F f_;
+};
+
+}  // namespace disco::core

@@ -1,0 +1,81 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace disco::core::theory {
+namespace {
+
+double pow_b(double b, double e) { return std::exp(e * std::log(b)); }
+
+}  // namespace
+
+double cv_bound(double b) {
+  if (!(b > 1.0)) throw std::invalid_argument("cv_bound: b must be > 1");
+  return std::sqrt((b - 1.0) / (b + 1.0));
+}
+
+double expected_traffic(double b, std::uint64_t S, std::uint64_t theta) {
+  if (!(b > 1.0)) throw std::invalid_argument("expected_traffic: b must be > 1");
+  if (theta == 0) throw std::invalid_argument("expected_traffic: theta >= 1");
+  const util::GeometricScale scale(b);
+  const auto s = static_cast<double>(S);
+  if (theta == 1) {
+    return scale.f(s);  // eq. 15
+  }
+  // Counter jumps to x after the first theta-sized trial, f(x) <= theta <=
+  // f(x+1); from there on each increment is geometric (eq. 18).
+  const double x = std::floor(scale.f_inv(static_cast<double>(theta)));
+  if (x >= s) return static_cast<double>(theta);
+  const double th = static_cast<double>(theta);
+  return th + pow_b(b, x) * (pow_b(b, s - x) - 1.0) / (b - 1.0);
+}
+
+double coefficient_of_variation(double b, std::uint64_t S, std::uint64_t theta) {
+  if (!(b > 1.0)) {
+    throw std::invalid_argument("coefficient_of_variation: b must be > 1");
+  }
+  if (theta == 0) {
+    throw std::invalid_argument("coefficient_of_variation: theta >= 1");
+  }
+  if (S == 0) return 0.0;
+  const auto s = static_cast<double>(S);
+
+  // For large S the expression is (inf/inf)-shaped in doubles but converges
+  // to the Corollary 1 bound; short-circuit before b^(2S) overflows.
+  if (2.0 * s * std::log(b) > 600.0) return cv_bound(b);
+
+  if (theta == 1) {
+    // eq. 17: e = sqrt( (b-1)(b^S - b) / ((b+1)(b^S - 1)) ).
+    const double num = (b - 1.0) * (pow_b(b, s) - b);
+    const double den = (b + 1.0) * (pow_b(b, s) - 1.0);
+    return num <= 0.0 ? 0.0 : std::sqrt(num / den);
+  }
+
+  // eq. 20 with x s.t. f(x) <= theta <= f(x+1).
+  const util::GeometricScale scale(b);
+  const double th = static_cast<double>(theta);
+  const double x = std::floor(scale.f_inv(th));
+  if (x >= s) return 0.0;  // a single trial already reaches S: deterministic
+  const double bx = pow_b(b, x);
+  const double bsx = pow_b(b, s - x);
+  const double num =
+      (b - 1.0) * (bx * bx * (bsx * bsx - 1.0) - th * bx * (bsx - 1.0) * (b + 1.0));
+  const double den_base = bx * (bsx - 1.0) + (b - 1.0) * th;
+  const double den = (b + 1.0) * den_base * den_base;
+  // The paper's geometric-trial model assumes p_c = theta/b^c <= 1; in the
+  // early region where theta exceeds b^c the counter advances several values
+  // deterministically and the closed form can dip (slightly) negative.
+  // Clamp at zero: the true variation there is negligible (see the
+  // Monte-Carlo column of bench_fig2).
+  return num <= 0.0 ? 0.0 : std::sqrt(num / den);
+}
+
+double expected_counter_upper_bound(double b, double n) {
+  const util::GeometricScale scale(b);
+  return scale.f_inv(n);
+}
+
+}  // namespace disco::core::theory

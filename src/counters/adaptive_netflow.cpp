@@ -1,0 +1,82 @@
+#include "counters/adaptive_netflow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace disco::counters {
+
+AdaptiveNetFlow::AdaptiveNetFlow(const Config& config)
+    : config_(config), p_(config.initial_rate) {
+  if (config.max_entries == 0) {
+    throw std::invalid_argument("AdaptiveNetFlow: zero entry budget");
+  }
+  if (!(config.initial_rate > 0.0) || config.initial_rate > 1.0 ||
+      !(config.decrease_factor > 0.0) || config.decrease_factor >= 1.0) {
+    throw std::invalid_argument("AdaptiveNetFlow: rates out of range");
+  }
+  table_.reserve(config.max_entries);
+}
+
+std::uint64_t AdaptiveNetFlow::subsample(std::uint64_t count, double factor,
+                                         util::Rng& rng) {
+  if (count == 0) return 0;
+  if (count <= 64) {
+    std::uint64_t kept = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (rng.bernoulli(factor)) ++kept;
+    }
+    return kept;
+  }
+  // Gaussian approximation of Binomial(count, factor), clamped to range.
+  const double n = static_cast<double>(count);
+  const double mean = n * factor;
+  const double sd = std::sqrt(n * factor * (1.0 - factor));
+  // Box-Muller from two uniforms.
+  const double u1 = 1.0 - rng.next_double();
+  const double u2 = rng.next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double sample = std::round(mean + sd * z);
+  if (sample <= 0.0) return 0;
+  if (sample >= n) return count;
+  return static_cast<std::uint64_t>(sample);
+}
+
+void AdaptiveNetFlow::renormalize(util::Rng& rng) {
+  ++renorms_;
+  p_ *= config_.decrease_factor;
+  for (auto it = table_.begin(); it != table_.end();) {
+    ++renorm_work_;
+    it->second = subsample(it->second, config_.decrease_factor, rng);
+    if (it->second == 0) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AdaptiveNetFlow::add_packet(std::uint64_t flow_id, util::Rng& rng) {
+  if (!rng.bernoulli(p_)) return;
+  const auto it = table_.find(flow_id);
+  if (it != table_.end()) {
+    ++it->second;
+    return;
+  }
+  // New flow: make room first if the table is at budget.  Halving the rate
+  // may evict enough zero-count entries; repeat until there is space (the
+  // sampled packet itself is then recorded at the *new* rate, so it is
+  // dropped unless it re-passes the coin flip -- the BNF behaviour).
+  while (table_.size() >= config_.max_entries) {
+    renormalize(rng);
+    if (!rng.bernoulli(config_.decrease_factor)) return;
+  }
+  table_.emplace(flow_id, 1);
+}
+
+double AdaptiveNetFlow::estimate(std::uint64_t flow_id) const noexcept {
+  const auto it = table_.find(flow_id);
+  return it == table_.end() ? 0.0 : static_cast<double>(it->second) / p_;
+}
+
+}  // namespace disco::counters

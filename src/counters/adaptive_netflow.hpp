@@ -1,0 +1,65 @@
+// Adaptive NetFlow / "Building a Better NetFlow" (Estan, Keys, Moore,
+// Varghese -- SIGCOMM 2004, the paper's reference [6], called BNF).
+//
+// Fixed flow-entry memory with an adaptive packet sampling rate: packets are
+// sampled with the current rate p; when the entry table fills, p is halved
+// and every existing count is renormalised by binomial subsampling (each
+// recorded packet survives with probability 1/2), freeing entries whose
+// counts drop to zero.  Estimates divide by the final rate.
+//
+// The paper notes that for flow size counting SAC behaves like BNF; this
+// implementation makes the comparison direct (bench_ablation_sample_hold)
+// and showcases the renormalisation stalls DISCO avoids -- the same critique
+// the paper levels at SAC's global renormalisation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace disco::counters {
+
+class AdaptiveNetFlow {
+ public:
+  struct Config {
+    std::size_t max_entries = 1024;
+    double initial_rate = 1.0;
+    double decrease_factor = 0.5;  ///< p multiplier per renormalisation
+  };
+
+  explicit AdaptiveNetFlow(const Config& config);
+
+  /// One packet of flow `flow_id` (flow size counting, as in BNF).
+  void add_packet(std::uint64_t flow_id, util::Rng& rng);
+
+  /// Estimated packets of the flow: count / p (0 for untracked flows).
+  [[nodiscard]] double estimate(std::uint64_t flow_id) const noexcept;
+
+  [[nodiscard]] double rate() const noexcept { return p_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t renormalizations() const noexcept { return renorms_; }
+  /// Total per-entry subsampling operations performed by renormalisations --
+  /// the work (and stall time) the adaptation costs.
+  [[nodiscard]] std::uint64_t renormalization_work() const noexcept {
+    return renorm_work_;
+  }
+
+ private:
+  void renormalize(util::Rng& rng);
+
+  /// Binomial(count, factor) subsample; exact for small counts, Gaussian
+  /// approximation (clamped) beyond -- renormalisation touches every entry,
+  /// so per-entry cost matters.
+  [[nodiscard]] static std::uint64_t subsample(std::uint64_t count, double factor,
+                                               util::Rng& rng);
+
+  Config config_;
+  double p_;
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+  std::uint64_t renorms_ = 0;
+  std::uint64_t renorm_work_ = 0;
+};
+
+}  // namespace disco::counters

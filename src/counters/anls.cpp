@@ -1,0 +1,23 @@
+#include "counters/anls.hpp"
+
+#include <stdexcept>
+
+namespace disco::counters {
+
+AnlsICounter::AnlsICounter(double p) : p_(p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("AnlsICounter: rate must be in (0, 1]");
+  }
+}
+
+double AnlsICounter::rate_for_budget(std::uint64_t max_flow, int counter_bits) {
+  if (counter_bits < 1 || counter_bits > 62 || max_flow == 0) {
+    throw std::invalid_argument("AnlsICounter::rate_for_budget: bad arguments");
+  }
+  const double capacity =
+      static_cast<double>((std::uint64_t{1} << counter_bits) - 1);
+  const double p = capacity / static_cast<double>(max_flow);
+  return p >= 1.0 ? 1.0 : p;
+}
+
+}  // namespace disco::counters

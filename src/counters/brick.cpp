@@ -1,0 +1,114 @@
+#include "counters/brick.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace disco::counters {
+
+BrickStore::BrickStore(const Config& config) : config_(config), size_(config.size) {
+  if (config.bucket_size == 0 || config.granularity < 1 ||
+      config.granularity > 64 || config.max_width < config.granularity ||
+      config.max_width > 64) {
+    throw std::invalid_argument("BrickStore: inconsistent configuration");
+  }
+  const std::size_t n_buckets =
+      (size_ + config.bucket_size - 1) / config.bucket_size;
+  buckets_.resize(n_buckets);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    const std::size_t count =
+        std::min(config.bucket_size, size_ - b * config.bucket_size);
+    buckets_[b].width.assign(count,
+                             static_cast<std::uint8_t>(config.granularity));
+    buckets_[b].payload_bits = count * static_cast<std::size_t>(config.granularity);
+    buckets_[b].words.assign((buckets_[b].payload_bits + 63) / 64, 0);
+  }
+}
+
+std::uint64_t BrickStore::read_bits(const std::vector<std::uint64_t>& words,
+                                    std::size_t bit, int width) noexcept {
+  const std::size_t word = bit / 64;
+  const unsigned off = static_cast<unsigned>(bit % 64);
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  std::uint64_t v = words[word] >> off;
+  if (off + static_cast<unsigned>(width) > 64) {
+    v |= words[word + 1] << (64 - off);
+  }
+  return v & mask;
+}
+
+void BrickStore::write_bits(std::vector<std::uint64_t>& words, std::size_t bit,
+                            int width, std::uint64_t v) noexcept {
+  const std::size_t word = bit / 64;
+  const unsigned off = static_cast<unsigned>(bit % 64);
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  words[word] = (words[word] & ~(mask << off)) | ((v & mask) << off);
+  if (off + static_cast<unsigned>(width) > 64) {
+    const unsigned hi_bits = off + static_cast<unsigned>(width) - 64;
+    const std::uint64_t hi_mask = (std::uint64_t{1} << hi_bits) - 1;
+    words[word + 1] = (words[word + 1] & ~hi_mask) | ((v & mask) >> (64 - off));
+  }
+}
+
+std::size_t BrickStore::offset_of(const Bucket& b, std::size_t slot) const noexcept {
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < slot; ++i) off += b.width[i];
+  return off;
+}
+
+std::uint64_t BrickStore::get(std::size_t i) const noexcept {
+  const Bucket& b = buckets_[i / config_.bucket_size];
+  const std::size_t slot = i % config_.bucket_size;
+  return read_bits(b.words, offset_of(b, slot), b.width[slot]);
+}
+
+void BrickStore::widen(Bucket& b, std::size_t slot, int new_width) {
+  ++rebuilds_;
+  // Unpack, adjust, repack -- the O(bucket) cost BRICK pays on expansion.
+  std::vector<std::uint64_t> values(b.width.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < b.width.size(); ++i) {
+    values[i] = read_bits(b.words, off, b.width[i]);
+    off += b.width[i];
+  }
+  b.width[slot] = static_cast<std::uint8_t>(new_width);
+  b.payload_bits = 0;
+  for (std::uint8_t w : b.width) b.payload_bits += w;
+  b.words.assign((b.payload_bits + 63) / 64, 0);
+  off = 0;
+  for (std::size_t i = 0; i < b.width.size(); ++i) {
+    write_bits(b.words, off, b.width[i], values[i]);
+    off += b.width[i];
+  }
+}
+
+void BrickStore::set(std::size_t i, std::uint64_t v) {
+  Bucket& b = buckets_[i / config_.bucket_size];
+  const std::size_t slot = i % config_.bucket_size;
+  const int needed = std::max(util::bit_width_u64(v), 1);
+  if (needed > config_.max_width) {
+    throw std::overflow_error("BrickStore: value exceeds max_width");
+  }
+  if (needed > b.width[slot]) {
+    // Round the new width up to the granularity quantum.
+    const int g = config_.granularity;
+    const int new_width = std::min(config_.max_width, ((needed + g - 1) / g) * g);
+    widen(b, slot, new_width);
+  }
+  write_bits(b.words, offset_of(b, slot), b.width[slot], v);
+}
+
+std::size_t BrickStore::storage_bits() const noexcept {
+  // Payload plus metadata: each counter's width fits in ceil(log2(64/g+1))
+  // bits; charge 4 bits per counter, the worst case for granularity 4.
+  std::size_t bits = 0;
+  for (const Bucket& b : buckets_) {
+    bits += b.payload_bits + 4 * b.width.size();
+  }
+  return bits;
+}
+
+}  // namespace disco::counters

@@ -1,0 +1,71 @@
+// BRICK-style variable-width counter storage (after Hua et al., ANCS 2008).
+//
+// The paper notes (Section I/II) that BRICK/Counter-Braids-style compact
+// storage is *complementary* to DISCO: DISCO shrinks counter values, BRICK
+// shrinks the bits spent storing whatever values exist.  This module
+// implements a simplified-but-real variable-width store in that spirit so the
+// composition can be measured (bench_ablation_brick): counters live
+// bit-packed at individually sized widths inside fixed buckets, widths grow
+// on demand in `granularity`-bit quanta, and a per-bucket width table plays
+// the role of BRICK's rank index.
+//
+// All storage accounting (payload bits + metadata bits) is real; widening
+// rebuilds the bucket's packed payload, and rebuilds are counted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace disco::counters {
+
+class BrickStore {
+ public:
+  struct Config {
+    std::size_t size = 0;
+    std::size_t bucket_size = 64;  ///< logical counters per bucket
+    int granularity = 4;           ///< width quantum in bits
+    int max_width = 64;            ///< hard cap per counter
+  };
+
+  explicit BrickStore(const Config& config);
+  BrickStore(std::size_t size, int granularity = 4)
+      : BrickStore(Config{size, 64, granularity, 64}) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::uint64_t get(std::size_t i) const noexcept;
+
+  /// Stores v, widening the counter (and rebuilding its bucket) if needed.
+  /// Throws std::overflow_error if v needs more than max_width bits.
+  void set(std::size_t i, std::uint64_t v);
+
+  /// add() convenience mirroring the other counter arrays.
+  void add(std::size_t i, std::uint64_t delta) { set(i, get(i) + delta); }
+
+  /// Payload bits + width-table metadata bits actually in use.
+  [[nodiscard]] std::size_t storage_bits() const noexcept;
+
+  /// Bucket rebuilds performed so far (each is an O(bucket) bit move).
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  struct Bucket {
+    std::vector<std::uint8_t> width;   // per-counter width in bits
+    std::vector<std::uint64_t> words;  // packed payload
+    std::size_t payload_bits = 0;
+  };
+
+  [[nodiscard]] static std::uint64_t read_bits(const std::vector<std::uint64_t>& words,
+                                               std::size_t bit, int width) noexcept;
+  static void write_bits(std::vector<std::uint64_t>& words, std::size_t bit,
+                         int width, std::uint64_t v) noexcept;
+  [[nodiscard]] std::size_t offset_of(const Bucket& b, std::size_t slot) const noexcept;
+  void widen(Bucket& b, std::size_t slot, int new_width);
+
+  Config config_;
+  std::size_t size_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace disco::counters

@@ -1,0 +1,240 @@
+#include "counters/counter_braids.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace disco::counters {
+
+CounterBraids::CounterBraids(const Config& config)
+    : config_(config),
+      layer1_(config.layer1_counters != 0
+                  ? config.layer1_counters
+                  : config.flow_capacity + config.flow_capacity / 2,
+              config.layer1_bits),
+      overflowed_(layer1_.size(), 1),
+      layer2_((config.layer2_counters != 0
+                   ? config.layer2_counters
+                   : std::max<std::size_t>(8, layer1_.size() / 4)),
+              0) {
+  if (config.flow_capacity == 0) {
+    throw std::invalid_argument("CounterBraids: zero flow capacity");
+  }
+  if (config.layer1_hashes < 2 || config.layer1_hashes > 8 ||
+      config.layer2_hashes < 2 || config.layer2_hashes > 8) {
+    throw std::invalid_argument("CounterBraids: hash counts must be in [2, 8]");
+  }
+  if (layer1_.size() < static_cast<std::size_t>(config.layer1_hashes) ||
+      layer2_.size() < static_cast<std::size_t>(config.layer2_hashes)) {
+    throw std::invalid_argument("CounterBraids: arrays smaller than hash fan-out");
+  }
+  // Back-fill derived sizes so config() reports the actual geometry.
+  config_.layer1_counters = layer1_.size();
+  config_.layer2_counters = layer2_.size();
+}
+
+std::uint32_t CounterBraids::hash_edge(std::uint64_t key, int which,
+                                       std::uint64_t range) const noexcept {
+  // SplitMix64 finaliser over (key, which, seed): high-quality, stateless.
+  std::uint64_t z = key ^ (static_cast<std::uint64_t>(which) << 32) ^
+                    config_.hash_seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % range);
+}
+
+std::vector<std::uint32_t> CounterBraids::layer1_edges(std::uint32_t flow) const {
+  // Edges of one flow must be distinct counters for the decoder's
+  // exclude-self sums to be exact; rehash with a growing salt on collision.
+  std::vector<std::uint32_t> edges;
+  edges.reserve(static_cast<std::size_t>(config_.layer1_hashes));
+  int salt = 0;
+  while (edges.size() < static_cast<std::size_t>(config_.layer1_hashes)) {
+    const std::uint32_t e = hash_edge(flow, salt++, layer1_.size());
+    if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+std::vector<std::uint32_t> CounterBraids::layer2_edges(std::uint32_t l1_index) const {
+  std::vector<std::uint32_t> edges;
+  edges.reserve(static_cast<std::size_t>(config_.layer2_hashes));
+  int salt = 1000;  // disjoint salt space from layer 1
+  while (edges.size() < static_cast<std::size_t>(config_.layer2_hashes)) {
+    const std::uint32_t e = hash_edge(l1_index, salt++, layer2_.size());
+    if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+void CounterBraids::add(std::uint32_t flow_id, std::uint64_t amount) {
+  if (flow_id >= config_.flow_capacity) {
+    throw std::out_of_range("CounterBraids::add: flow_id beyond capacity");
+  }
+  if (amount == 0) return;
+  for (std::uint32_t e : layer1_edges(flow_id)) {
+    const std::uint64_t total = layer1_.get(e) + amount;
+    const std::uint64_t kept = total & layer1_.max_value();
+    const std::uint64_t carry = total >> layer1_.width();
+    layer1_.set(e, kept);
+    if (carry > 0) {
+      carries_ += carry;
+      overflowed_.set(e, 1);
+      for (std::uint32_t e2 : layer2_edges(e)) layer2_[e2] += carry;
+    }
+  }
+}
+
+CounterBraids::DecodeResult CounterBraids::message_passing(
+    const std::vector<std::vector<std::uint32_t>>& edges,
+    const std::vector<std::uint64_t>& counter_values,
+    std::size_t counter_count, int iterations) {
+  // CB's alternating min/max decoder (Lu et al., Section 4): messages start
+  // as lower bounds (0); each round computes nu_{j->i} = clip(c_j - sum of
+  // the *other* flows' messages into j).  When the incoming messages are
+  // lower bounds the nus are upper bounds and the flow combines them with
+  // MIN; when they are upper bounds the nus are lower bounds and the flow
+  // combines with MAX.  The per-flow upper and lower estimate sequences
+  // close in on the true counts; equality of consecutive estimates means
+  // exact decoding.
+  const std::size_t n = edges.size();
+  std::vector<std::vector<std::uint64_t>> mu(n);
+  for (std::size_t i = 0; i < n; ++i) mu[i].assign(edges[i].size(), 0);
+
+  std::vector<std::uint64_t> incoming(counter_count, 0);
+  std::vector<std::uint64_t> nu;  // per-edge scratch
+  std::vector<std::uint64_t> estimate(n, 0);
+  std::vector<std::uint64_t> prev_estimate(n, ~std::uint64_t{0});
+
+  DecodeResult result;
+  int t = 0;
+  for (; t < iterations; ++t) {
+    const bool upper_round = (t % 2 == 0);  // mu are lower bounds -> nu upper
+
+    std::fill(incoming.begin(), incoming.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t e = 0; e < edges[i].size(); ++e) {
+        incoming[edges[i][e]] += mu[i][e];
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t deg = edges[i].size();
+      nu.assign(deg, 0);
+      for (std::size_t e = 0; e < deg; ++e) {
+        const std::uint32_t j = edges[i][e];
+        const std::uint64_t others = incoming[j] - mu[i][e];
+        nu[e] = counter_values[j] > others ? counter_values[j] - others : 0;
+      }
+      if (upper_round) {
+        // Exclude-self MIN via min / second-min.
+        std::uint64_t min1 = ~std::uint64_t{0};
+        std::uint64_t min2 = ~std::uint64_t{0};
+        std::size_t min1_at = 0;
+        for (std::size_t e = 0; e < deg; ++e) {
+          if (nu[e] < min1) {
+            min2 = min1;
+            min1 = nu[e];
+            min1_at = e;
+          } else if (nu[e] < min2) {
+            min2 = nu[e];
+          }
+        }
+        for (std::size_t e = 0; e < deg; ++e) {
+          mu[i][e] = (e == min1_at) ? min2 : min1;
+        }
+        estimate[i] = min1;
+      } else {
+        // Exclude-self MAX via max / second-max.
+        std::uint64_t max1 = 0;
+        std::uint64_t max2 = 0;
+        std::size_t max1_at = 0;
+        for (std::size_t e = 0; e < deg; ++e) {
+          if (nu[e] > max1) {
+            max2 = max1;
+            max1 = nu[e];
+            max1_at = e;
+          } else if (nu[e] > max2) {
+            max2 = nu[e];
+          }
+        }
+        for (std::size_t e = 0; e < deg; ++e) {
+          mu[i][e] = (e == max1_at) ? max2 : max1;
+        }
+        estimate[i] = max1;
+      }
+    }
+
+    // An upper-round estimate equal to the previous lower-round estimate
+    // (or vice versa) pins every count exactly.
+    if (estimate == prev_estimate) {
+      result.converged = true;
+      ++t;
+      break;
+    }
+    prev_estimate = estimate;
+  }
+  result.iterations_used = std::min(t, iterations);
+  result.counts = std::move(estimate);
+
+  // A-posteriori certificate: decoded counts must reproduce every counter.
+  std::vector<std::uint64_t> check(counter_count, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t j : edges[i]) check[j] += result.counts[i];
+  }
+  result.verified = true;
+  for (std::size_t j = 0; j < counter_count; ++j) {
+    if (check[j] != counter_values[j]) {
+      result.verified = false;
+      break;
+    }
+  }
+  return result;
+}
+
+CounterBraids::DecodeResult CounterBraids::decode(int iterations) const {
+  // Stage 1: recover layer-1 overflow counts from layer 2.  Only flagged
+  // counters are unknowns; the status bits pin every other count to zero,
+  // which is what keeps this stage decodable (see header).
+  std::vector<std::size_t> flagged;
+  for (std::size_t j = 0; j < layer1_.size(); ++j) {
+    if (overflowed_.get(j) != 0) flagged.push_back(j);
+  }
+  std::vector<std::vector<std::uint32_t>> l2_edges(flagged.size());
+  for (std::size_t u = 0; u < flagged.size(); ++u) {
+    l2_edges[u] = layer2_edges(static_cast<std::uint32_t>(flagged[u]));
+  }
+  const DecodeResult overflow =
+      message_passing(l2_edges, layer2_, layer2_.size(), iterations);
+
+  // Stage 2: reconstruct full layer-1 values, then recover flows.
+  std::vector<std::uint64_t> full(layer1_.size());
+  for (std::size_t j = 0; j < layer1_.size(); ++j) full[j] = layer1_.get(j);
+  for (std::size_t u = 0; u < flagged.size(); ++u) {
+    full[flagged[u]] += overflow.counts[u] << layer1_.width();
+  }
+  std::vector<std::vector<std::uint32_t>> l1_edges(config_.flow_capacity);
+  for (std::uint32_t i = 0; i < config_.flow_capacity; ++i) {
+    l1_edges[i] = layer1_edges(i);
+  }
+  DecodeResult result = message_passing(l1_edges, full, layer1_.size(), iterations);
+  result.converged = result.converged && overflow.converged;
+  result.verified = result.verified && overflow.verified;
+  return result;
+}
+
+std::size_t CounterBraids::storage_bits() const noexcept {
+  // Layer-2 counters are modelled at 32 bits (a real deployment would braid
+  // further layers; 32 bits upper-bounds any practical depth-2 setup).  The
+  // per-counter overflow status bits are part of the bill.
+  return layer1_.storage_bits() + overflowed_.storage_bits() +
+         layer2_.size() * 32;
+}
+
+}  // namespace disco::counters

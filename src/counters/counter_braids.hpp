@@ -1,0 +1,117 @@
+// Counter Braids (Lu, Montanari, Prabhakar, Dharmapurikar, Kabbani --
+// SIGMETRICS 2008): the paper's reference [14], cited as complementary to
+// DISCO ("BRICK/CB and the method proposed in this paper are complementary
+// to each other and can work together").
+//
+// CB shares a small array of counters among all flows instead of giving each
+// flow its own: every flow increments k random layer-1 counters; layer-1
+// counters that overflow carry into a (much smaller) layer-2 array through a
+// second hash stage -- the "braid".  Counting is exact-in-principle: given
+// the flow list, an iterative message-passing decoder (min-sum on the
+// bipartite flow/counter graph) recovers every flow's exact count with high
+// probability when the load is below the decoding threshold.
+//
+// Trade-off versus DISCO (measured in bench_ablation_cb): CB needs no
+// per-flow counter and can be exact, but decoding is offline (no per-packet
+// estimates) and degrades sharply past its load threshold; DISCO gives
+// on-line per-packet estimates with a small, bounded relative error.  The
+// two compose: DISCO's small counter values can be braided just like exact
+// values, cutting CB's required depth.
+//
+// This implementation is the standard two-layer construction:
+//   * layer-1: m1 counters of d1 bits, k1 hashes per flow;
+//   * layer-2: m2 counters (64-bit here; layer-2 is tiny), k2 hashes per
+//     overflowing layer-1 counter;
+//   * updates add to the k1 layer-1 counters; each wrap of a layer-1 counter
+//     sends one carry into its k2 layer-2 counters and sets the counter's
+//     one-bit overflow status flag (as in the original CB construction --
+//     without the flag, stage-1 decoding would have to guess which of the m1
+//     counters overflowed and becomes ambiguous);
+//   * decoding first recovers the overflow counts of the *flagged* layer-1
+//     counters from layer 2 by message passing, reconstructs full layer-1
+//     values, then recovers the per-flow counts, again by message passing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitpack.hpp"
+
+namespace disco::counters {
+
+class CounterBraids {
+ public:
+  /// Dimensioning guidance: layer-1 decodes reliably while
+  /// flow_capacity / layer1_counters stays below ~0.8 (k1 = 3); layer 2
+  /// decodes reliably while the number of *overflowing* layer-1 counters
+  /// stays below ~0.5 x layer2_counters (k2 = 2), so pick layer1_bits large
+  /// enough that only heavy-hitter counters overflow.  For byte counting
+  /// with per-counter sums around 2^B, layer1_bits ~ B keeps overflows to
+  /// the elephant tail.
+  struct Config {
+    std::size_t flow_capacity = 1024;  ///< flows the decoder will know about
+    std::size_t layer1_counters = 0;   ///< m1; 0 = 1.5x flow_capacity
+    int layer1_bits = 8;               ///< d1
+    int layer1_hashes = 3;             ///< k1
+    std::size_t layer2_counters = 0;   ///< m2; 0 = m1 / 4
+    int layer2_hashes = 2;             ///< k2
+    std::uint64_t hash_seed = 0xCB0305;
+  };
+
+  explicit CounterBraids(const Config& config);
+
+  /// Adds `amount` (bytes, packets, or a DISCO counter delta) to flow
+  /// `flow_id` in [0, flow_capacity).
+  void add(std::uint32_t flow_id, std::uint64_t amount);
+
+  /// Message-passing decode: returns the recovered per-flow counts for
+  /// flows [0, flow_capacity).  `iterations` bounds the min-sum rounds.
+  ///
+  /// `converged` reports message-passing reaching a fixed point; on loopy
+  /// residual graphs min-sum can oscillate in a 2-cycle even when the
+  /// estimates are already exact, so the operative success signal is
+  /// `verified`: an a-posteriori certificate that the decoded counts
+  /// reproduce every counter sum exactly (for both layers).
+  struct DecodeResult {
+    std::vector<std::uint64_t> counts;
+    bool converged = false;
+    bool verified = false;
+    int iterations_used = 0;
+  };
+  [[nodiscard]] DecodeResult decode(int iterations = 50) const;
+
+  /// Counter-array SRAM footprint in bits (both layers).
+  [[nodiscard]] std::size_t storage_bits() const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t layer1_carries() const noexcept { return carries_; }
+
+  /// Exposed for tests: raw layer-1 / layer-2 state.
+  [[nodiscard]] std::uint64_t layer1_value(std::size_t j) const noexcept {
+    return layer1_.get(j);
+  }
+  [[nodiscard]] std::uint64_t layer2_value(std::size_t j) const noexcept {
+    return layer2_[j];
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t hash_edge(std::uint64_t key, int which,
+                                        std::uint64_t range) const noexcept;
+  [[nodiscard]] std::vector<std::uint32_t> layer1_edges(std::uint32_t flow) const;
+  [[nodiscard]] std::vector<std::uint32_t> layer2_edges(std::uint32_t l1_index) const;
+
+  /// Generic min-sum decode of `node_count` unknowns from `counter_values`
+  /// over the given edge lists (edges[i] = counters of unknown i).
+  static DecodeResult message_passing(
+      const std::vector<std::vector<std::uint32_t>>& edges,
+      const std::vector<std::uint64_t>& counter_values,
+      std::size_t counter_count, int iterations);
+
+  Config config_;
+  util::BitPackedArray layer1_;
+  util::BitPackedArray overflowed_;  // 1-bit status flag per layer-1 counter
+  std::vector<std::uint64_t> layer2_;
+  std::uint64_t carries_ = 0;
+};
+
+}  // namespace disco::counters

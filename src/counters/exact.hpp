@@ -1,0 +1,36 @@
+// Exact full-size counters -- ground truth and the SD baseline's ideal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace disco::counters {
+
+/// Plain 64-bit counters.  Used as ground truth by every experiment and as
+/// the cost model for "full-size counter" baselines (counter bits grow
+/// linearly -- slope one on the paper's Fig. 9).
+class ExactArray {
+ public:
+  explicit ExactArray(std::size_t size) : values_(size, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  void add(std::size_t i, std::uint64_t l) noexcept { values_[i] += l; }
+
+  [[nodiscard]] std::uint64_t value(std::size_t i) const noexcept { return values_[i]; }
+
+  /// Bits a fixed-width exact deployment needs for this value ("largest
+  /// counter bits" methodology).
+  [[nodiscard]] static int bits_required(std::uint64_t value) noexcept {
+    return util::bit_width_u64(value);
+  }
+
+  void reset() noexcept { values_.assign(values_.size(), 0); }
+
+ private:
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace disco::counters

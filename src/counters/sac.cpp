@@ -1,0 +1,116 @@
+#include "counters/sac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace disco::counters {
+
+SacArray::SacArray(const Config& config)
+    : k_bits_(config.estimation_bits),
+      s_bits_(config.total_bits - config.estimation_bits),
+      r_(config.initial_r),
+      a_max_((std::uint64_t{1} << config.estimation_bits) - 1),
+      mode_max_((std::uint64_t{1} << (config.total_bits - config.estimation_bits)) - 1),
+      a_(config.size, config.estimation_bits),
+      mode_(config.size, config.total_bits - config.estimation_bits) {
+  if (config.estimation_bits < 1 || config.total_bits <= config.estimation_bits) {
+    throw std::invalid_argument("SacArray: need 1 <= k < total_bits");
+  }
+  if (config.initial_r < 1 || config.initial_r > 16) {
+    throw std::invalid_argument("SacArray: initial_r out of range");
+  }
+}
+
+std::uint64_t SacArray::probabilistic_shift(std::uint64_t v, int shift,
+                                            util::Rng& rng) const noexcept {
+  if (shift <= 0) return v;
+  if (shift >= 64) return rng.bernoulli(0.0) ? 1 : 0;  // value below one ulp
+  const std::uint64_t base = v >> shift;
+  const std::uint64_t frac = v & ((std::uint64_t{1} << shift) - 1);
+  const bool round_up =
+      frac != 0 && rng.uniform_u64(0, (std::uint64_t{1} << shift) - 1) < frac;
+  return base + (round_up ? 1 : 0);
+}
+
+void SacArray::add(std::size_t i, std::uint64_t l, util::Rng& rng) {
+  for (;;) {
+    const std::uint64_t mode = mode_.get(i);
+    const int shift = r_ * static_cast<int>(mode);
+    const std::uint64_t a = a_.get(i);
+
+    // Escalate based on the *worst-case* increment ceil(l / 2^shift), never
+    // on the sampled one: accepting a draw only when it happens to fit would
+    // condition the accepted increments low and bias the estimator.
+    std::uint64_t max_inc;
+    if (shift >= 64) {
+      max_inc = 1;
+    } else {
+      const std::uint64_t frac_mask = shift == 0
+                                          ? 0
+                                          : (std::uint64_t{1} << shift) - 1;
+      max_inc = (l >> shift) + ((l & frac_mask) != 0 ? 1 : 0);
+    }
+    if (max_inc <= a_max_ - a) {
+      a_.set(i, a + probabilistic_shift(l, shift, rng));
+      return;
+    }
+
+    // A could overflow: escalate this counter's mode (renormalising A by
+    // 2^r), or the global r if mode is saturated.
+    if (mode < mode_max_) {
+      mode_.set(i, mode + 1);
+      a_.set(i, probabilistic_shift(a, r_, rng));
+    } else {
+      global_renormalize(rng);
+    }
+  }
+}
+
+void SacArray::global_renormalize(util::Rng& rng) {
+  ++global_renorms_;
+  const int old_r = r_;
+  ++r_;
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    const std::uint64_t a = a_.get(i);
+    const std::uint64_t mode = mode_.get(i);
+    if (a == 0 && mode == 0) continue;
+    // Re-encode value a * 2^(old_r * mode) under the new r: pick the smallest
+    // mode' whose scale still admits an estimation part below 2^k.
+    const int old_shift = old_r * static_cast<int>(mode);
+    std::uint64_t new_mode = 0;
+    for (;;) {
+      const int new_shift = r_ * static_cast<int>(new_mode);
+      const int delta = old_shift - new_shift;
+      const std::uint64_t scaled =
+          delta >= 0 ? (delta < 64 ? a << std::min(delta, 63) : ~std::uint64_t{0})
+                     : (a >> std::min(-delta, 63));
+      if (scaled <= a_max_ || new_mode == mode_max_) break;
+      ++new_mode;
+    }
+    const int new_shift = r_ * static_cast<int>(new_mode);
+    std::uint64_t new_a;
+    if (new_shift >= old_shift) {
+      new_a = probabilistic_shift(a, new_shift - old_shift, rng);
+    } else {
+      new_a = a << (old_shift - new_shift);
+    }
+    if (new_a > a_max_) new_a = a_max_;  // saturate; accounted as estimator error
+    a_.set(i, new_a);
+    mode_.set(i, new_mode);
+  }
+}
+
+double SacArray::estimate(std::size_t i) const noexcept {
+  const auto a = static_cast<double>(a_.get(i));
+  const int shift = r_ * static_cast<int>(mode_.get(i));
+  return a * std::exp2(shift);
+}
+
+void SacArray::reset() noexcept {
+  a_.fill_zero();
+  mode_.fill_zero();
+  r_ = 1;
+  global_renorms_ = 0;
+}
+
+}  // namespace disco::counters

@@ -1,0 +1,38 @@
+// Uniform packet sampling (Sampled NetFlow) -- the classic flow-size
+// baseline the related-work section starts from: sample each packet with
+// probability p; with c sampled packets, n-hat = c / p is unbiased.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace disco::counters {
+
+class SampledNetFlow {
+ public:
+  explicit SampledNetFlow(double p) : p_(p) {
+    if (!(p > 0.0) || p > 1.0) {
+      throw std::invalid_argument("SampledNetFlow: rate must be in (0, 1]");
+    }
+  }
+
+  /// One packet arrival (flow size counting).
+  void add_packet(util::Rng& rng) noexcept {
+    if (rng.bernoulli(p_)) ++value_;
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] double estimate() const noexcept {
+    return static_cast<double>(value_) / p_;
+  }
+  [[nodiscard]] double rate() const noexcept { return p_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  double p_;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace disco::counters

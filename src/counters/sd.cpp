@@ -1,0 +1,77 @@
+#include "counters/sd.hpp"
+
+#include <stdexcept>
+
+namespace disco::counters {
+
+SdArray::SdArray(const Config& config)
+    : config_(config),
+      sram_(config.size, config.sram_bits),
+      dram_(config.size, 0),
+      heap_(config.size),
+      ticks_to_service_(config.dram_service_interval) {
+  if (config.sram_bits < 1 || config.sram_bits > 32) {
+    throw std::invalid_argument("SdArray: sram_bits must be in [1, 32]");
+  }
+  if (config.dram_service_interval < 1) {
+    throw std::invalid_argument("SdArray: dram_service_interval must be >= 1");
+  }
+}
+
+void SdArray::flush(std::size_t i) {
+  const std::uint64_t v = sram_.get(i);
+  if (v == 0) return;
+  dram_[i] += v;
+  sram_.set(i, 0);
+  if (config_.cma == Cma::kLargestCounterFirst) heap_.set(i, 0);
+}
+
+void SdArray::background_service() {
+  ++flushes_;
+  if (config_.cma == Cma::kLargestCounterFirst) {
+    flush(heap_.top());
+  } else {
+    // Round-robin sweeps the array; skipping empties would need the very
+    // priority structure this policy exists to avoid.
+    flush(rr_cursor_);
+    rr_cursor_ = (rr_cursor_ + 1) % sram_.size();
+  }
+}
+
+void SdArray::add(std::size_t i, std::uint64_t l) {
+  // Byte counting can exceed the SRAM capacity in a single packet; peel off
+  // full-capacity chunks as emergency flushes (each one a stall).
+  const std::uint64_t cap = sram_.max_value();
+  std::uint64_t remaining = l;
+  for (;;) {
+    const std::uint64_t cur = sram_.get(i);
+    if (remaining <= cap - cur) break;
+    const std::uint64_t chunk = cap - cur;
+    dram_[i] += cur + chunk;
+    sram_.set(i, 0);
+    if (config_.cma == Cma::kLargestCounterFirst) heap_.set(i, 0);
+    ++stalls_;
+    remaining -= chunk;
+  }
+  (void)sram_.try_add(i, remaining);
+  if (config_.cma == Cma::kLargestCounterFirst) {
+    heap_.set(i, sram_.get(i));
+  }
+
+  if (--ticks_to_service_ <= 0) {
+    ticks_to_service_ = config_.dram_service_interval;
+    background_service();
+  }
+}
+
+void SdArray::reset() {
+  sram_.fill_zero();
+  dram_.assign(dram_.size(), 0);
+  for (std::size_t i = 0; i < dram_.size(); ++i) heap_.set(i, 0);
+  rr_cursor_ = 0;
+  ticks_to_service_ = config_.dram_service_interval;
+  flushes_ = 0;
+  stalls_ = 0;
+}
+
+}  // namespace disco::counters

@@ -1,0 +1,86 @@
+// SD -- the hybrid SRAM & DRAM full-size counter architecture (Shah et al.,
+// IEEE Micro 2002; Ramabhadran & Varghese 2003; Zhao et al. 2006).
+//
+// The paper's related-work category 1: every counter keeps its low-order
+// bits in SRAM and its full value in DRAM.  A Counter Management Algorithm
+// (CMA) flushes SRAM counters to DRAM at the (slow) DRAM service rate before
+// they overflow.  Counting is exact, but reads must touch DRAM, flush
+// traffic crosses the system bus, and a dedicated DRAM is required -- the
+// costs DISCO avoids.
+//
+// This model makes those costs measurable: DRAM service happens once every
+// `dram_service_interval` updates; a counter that would overflow between
+// service slots forces an emergency flush that stalls the update path (a
+// real line card would drop or back-pressure).  Statistics count flushes
+// (bus transactions), stalls, and read latency classes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitpack.hpp"
+#include "util/indexed_heap.hpp"
+
+namespace disco::counters {
+
+class SdArray {
+ public:
+  /// CMA policy for picking the SRAM counter to flush at each service slot.
+  enum class Cma {
+    kLargestCounterFirst,  ///< LCF(-style): flush the fullest counter
+    kRoundRobin,           ///< cyclic sweep, no priority structure
+  };
+
+  struct Config {
+    std::size_t size = 0;
+    int sram_bits = 6;                  ///< low-order bits held on chip
+    int dram_service_interval = 10;     ///< updates per DRAM write slot
+    Cma cma = Cma::kLargestCounterFirst;
+  };
+
+  explicit SdArray(const Config& config);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sram_.size(); }
+  [[nodiscard]] int sram_bits() const noexcept { return sram_.width(); }
+  [[nodiscard]] std::size_t sram_storage_bits() const noexcept {
+    return sram_.storage_bits();
+  }
+
+  /// Adds l to counter i (exact).
+  void add(std::size_t i, std::uint64_t l);
+
+  /// Exact value; models the slow read path (SRAM part + DRAM part).
+  [[nodiscard]] std::uint64_t value(std::size_t i) const noexcept {
+    return dram_[i] + sram_.get(i);
+  }
+  [[nodiscard]] double estimate(std::size_t i) const noexcept {
+    return static_cast<double>(value(i));
+  }
+
+  // --- cost statistics -----------------------------------------------------
+  /// Scheduled background flushes (each is one SRAM->bus->DRAM transaction).
+  [[nodiscard]] std::uint64_t scheduled_flushes() const noexcept { return flushes_; }
+  /// Emergency flushes: the CMA failed to keep up and the update path stalled.
+  [[nodiscard]] std::uint64_t emergency_stalls() const noexcept { return stalls_; }
+  /// Total bytes moved across the system bus by flushes (8 B per DRAM word).
+  [[nodiscard]] std::uint64_t bus_bytes() const noexcept {
+    return (flushes_ + stalls_) * 8;
+  }
+
+  void reset();
+
+ private:
+  void flush(std::size_t i);
+  void background_service();
+
+  Config config_;
+  util::BitPackedArray sram_;
+  std::vector<std::uint64_t> dram_;
+  util::IndexedMaxHeap heap_;   // LCF priority = current SRAM value
+  std::size_t rr_cursor_ = 0;   // round-robin CMA state
+  int ticks_to_service_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace disco::counters

@@ -1,0 +1,212 @@
+// Fixed-capacity open-addressing flow table, generic over the key type.
+//
+// A line card allocates its flow table once; there is no rehashing at line
+// rate.  BasicFlowTable maps keys to dense counter slots with linear
+// probing, supports tombstone-free deletion (backward shift) with slot
+// recycling, and reports (rather than hides) overload: when the table is
+// full, new flows are rejected and counted.  Probe statistics make hash
+// behaviour observable in tests.
+//
+// Key requirements: equality-comparable, hashable via std::hash<Key>, and
+// cheap to copy (keys are stored twice: bucket array + slot-ordered list).
+// `FlowTable` is the IPv4 5-tuple instantiation; `FlowTableV6` the IPv6 one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "flowtable/flow_key.hpp"
+
+namespace disco::flowtable {
+
+template <typename Key>
+class BasicFlowTable {
+ public:
+  /// `capacity` is the number of flows the table can hold; the bucket array
+  /// is sized to the next power of two of capacity / max_load.
+  explicit BasicFlowTable(std::size_t capacity, double max_load = 0.75)
+      : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("FlowTable: zero capacity");
+    if (capacity > (std::size_t{1} << 32)) {
+      // Also guards next_pow2 against overflow on absurd (e.g. corrupted
+      // snapshot) capacities.
+      throw std::invalid_argument("FlowTable: capacity beyond 2^32 flows");
+    }
+    if (!(max_load > 0.0) || max_load > 0.95) {
+      throw std::invalid_argument("FlowTable: max_load must be in (0, 0.95]");
+    }
+    const std::size_t buckets = next_pow2(
+        static_cast<std::size_t>(static_cast<double>(capacity) / max_load) + 1);
+    buckets_.resize(buckets);
+    mask_ = buckets - 1;
+    keys_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Returns the dense slot of `key`, inserting it if new.  nullopt when the
+  /// table is at capacity and `key` is not present.
+  [[nodiscard]] std::optional<std::uint32_t> insert_or_get(const Key& key) {
+    ++lookups_;
+    std::size_t i = probe_start(key);
+    for (;;) {
+      ++probes_;
+      Bucket& b = buckets_[i];
+      if (b.slot == kEmpty) {
+        if (size_ >= capacity_) {
+          ++rejected_;
+          return std::nullopt;
+        }
+        std::uint32_t slot;
+        if (!free_slots_.empty()) {
+          slot = free_slots_.back();
+          free_slots_.pop_back();
+          keys_[slot] = key;
+          slot_used_[slot] = true;
+        } else {
+          slot = static_cast<std::uint32_t>(keys_.size());
+          keys_.push_back(key);
+          slot_used_.push_back(true);
+        }
+        b.key = key;
+        b.slot = slot;
+        ++size_;
+        return slot;
+      }
+      if (b.key == key) return b.slot;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Lookup without insertion.
+  [[nodiscard]] std::optional<std::uint32_t> find(const Key& key) const noexcept {
+    ++lookups_;
+    std::size_t i = probe_start(key);
+    for (;;) {
+      ++probes_;
+      const Bucket& b = buckets_[i];
+      if (b.slot == kEmpty) return std::nullopt;
+      if (b.key == key) return b.slot;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Removes a flow, freeing its slot for reuse by later inserts (the
+  /// monitor's idle-eviction path).  Uses backward-shift deletion so probe
+  /// sequences stay intact without tombstones.  Returns the freed slot, or
+  /// nullopt if the key was absent.
+  std::optional<std::uint32_t> erase(const Key& key) noexcept {
+    ++lookups_;
+    std::size_t i = probe_start(key);
+    for (;;) {
+      ++probes_;
+      Bucket& b = buckets_[i];
+      if (b.slot == kEmpty) return std::nullopt;
+      if (b.key == key) break;
+      i = (i + 1) & mask_;
+    }
+    const std::uint32_t freed = buckets_[i].slot;
+    slot_used_[freed] = false;
+    free_slots_.push_back(freed);
+    --size_;
+
+    // Backward-shift deletion: pull cluster members whose home position lies
+    // at or before the gap, keeping every probe sequence unbroken.
+    std::size_t gap = i;
+    std::size_t k = (i + 1) & mask_;
+    while (buckets_[k].slot != kEmpty) {
+      const std::size_t home = probe_start(buckets_[k].key);
+      // Move bucket k into the gap unless its home lies cyclically within
+      // (gap, k] -- in that case it is already as close to home as allowed.
+      const bool home_in_between = gap < k ? (home > gap && home <= k)
+                                           : (home > gap || home <= k);
+      if (!home_in_between) {
+        buckets_[gap] = buckets_[k];
+        gap = k;
+      }
+      k = (k + 1) & mask_;
+    }
+    buckets_[gap].slot = kEmpty;
+    return freed;
+  }
+
+  /// Calls fn(slot, key) for every active flow.  Slots are NOT necessarily
+  /// dense once erase() has been used; iterate via this, not by index.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t slot = 0; slot < keys_.size(); ++slot) {
+      if (slot_used_[slot]) fn(slot, keys_[slot]);
+    }
+  }
+
+  /// Keys in slot order; entries of freed slots are stale -- pair with
+  /// for_each()/slot_used() when erase() is in play.
+  [[nodiscard]] const std::vector<Key>& keys() const noexcept { return keys_; }
+  [[nodiscard]] bool slot_used(std::uint32_t slot) const noexcept {
+    return slot < slot_used_.size() && slot_used_[slot];
+  }
+
+  // --- observability --------------------------------------------------------
+  [[nodiscard]] std::uint64_t rejected_flows() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t total_probes() const noexcept { return probes_; }
+  [[nodiscard]] std::uint64_t total_lookups() const noexcept { return lookups_; }
+  [[nodiscard]] double mean_probe_length() const noexcept {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(probes_) / static_cast<double>(lookups_);
+  }
+
+  /// SRAM footprint of the table structure itself (keys + slot ids).
+  [[nodiscard]] std::size_t storage_bits() const noexcept {
+    return buckets_.size() * (sizeof(Key) + 4) * 8;
+  }
+
+  /// Removes all flows (start of a new measurement epoch).  Capacity and
+  /// statistics counters are preserved.
+  void clear() noexcept {
+    for (Bucket& b : buckets_) b.slot = kEmpty;
+    keys_.clear();
+    slot_used_.clear();
+    free_slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Bucket {
+    Key key{};
+    std::uint32_t slot = kEmpty;
+  };
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  static std::size_t next_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t probe_start(const Key& key) const noexcept {
+    return std::hash<Key>{}(key)&mask_;
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_ = 0;
+  std::vector<Bucket> buckets_;
+  std::vector<Key> keys_;
+  std::vector<bool> slot_used_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t size_ = 0;
+  mutable std::uint64_t probes_ = 0;
+  mutable std::uint64_t lookups_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// The IPv4 5-tuple table used by FlowMonitor.
+using FlowTable = BasicFlowTable<FiveTuple>;
+
+/// IPv6 instantiation (see flow_key.hpp for the key).
+using FlowTableV6 = BasicFlowTable<FiveTupleV6>;
+
+}  // namespace disco::flowtable

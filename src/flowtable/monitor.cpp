@@ -1,0 +1,213 @@
+#include "flowtable/monitor.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace disco::flowtable {
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x4e4f4d44;  // "DMON" LE
+constexpr std::uint32_t kSnapshotVersion = 2;
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("FlowMonitor::restore: truncated snapshot");
+  return value;
+}
+
+// FiveTuple is written field by field: the struct has padding bytes whose
+// content is indeterminate and must not leak into the snapshot.
+void put_tuple(std::ostream& out, const FiveTuple& t) {
+  put(out, t.src_ip);
+  put(out, t.dst_ip);
+  put(out, t.src_port);
+  put(out, t.dst_port);
+  put(out, t.protocol);
+}
+
+[[nodiscard]] FiveTuple get_tuple(std::istream& in) {
+  FiveTuple t;
+  t.src_ip = get<std::uint32_t>(in);
+  t.dst_ip = get<std::uint32_t>(in);
+  t.src_port = get<std::uint16_t>(in);
+  t.dst_port = get<std::uint16_t>(in);
+  t.protocol = get<std::uint8_t>(in);
+  return t;
+}
+
+}  // namespace
+
+FlowMonitor::FlowMonitor(const Config& config)
+    : config_(config),
+      table_(config.max_flows),
+      volume_(config.max_flows, config.counter_bits,
+              core::DiscoParams::for_budget(config.max_flow_bytes, config.counter_bits)),
+      size_(config.max_flows, config.counter_bits,
+            core::DiscoParams::for_budget(config.max_flow_packets, config.counter_bits)),
+      last_seen_ns_(config.max_flows, 0),
+      rng_(config.seed) {}
+
+bool FlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
+                         std::uint64_t now_ns) {
+  const auto slot = table_.insert_or_get(flow);
+  if (!slot) return false;
+  volume_.add(*slot, length, rng_);
+  size_.add(*slot, 1, rng_);
+  last_seen_ns_[*slot] = now_ns;
+  ++packets_seen_;
+  return true;
+}
+
+std::vector<FlowMonitor::FlowEstimate> FlowMonitor::evict_idle(
+    std::uint64_t now_ns, std::uint64_t idle_timeout_ns) {
+  std::vector<FlowEstimate> evicted;
+  std::vector<FiveTuple> victims;
+  table_.for_each([&](std::uint32_t slot, const FiveTuple& key) {
+    const std::uint64_t seen = last_seen_ns_[slot];
+    if (now_ns >= seen && now_ns - seen > idle_timeout_ns) {
+      evicted.push_back(
+          FlowEstimate{key, volume_.estimate(slot), size_.estimate(slot)});
+      victims.push_back(key);
+    }
+  });
+  for (const FiveTuple& key : victims) {
+    const auto slot = table_.erase(key);
+    if (slot) {
+      volume_.set_value(*slot, 0);
+      size_.set_value(*slot, 0);
+      last_seen_ns_[*slot] = 0;
+    }
+  }
+  return evicted;
+}
+
+std::optional<FlowMonitor::FlowEstimate> FlowMonitor::query(const FiveTuple& flow) const {
+  const auto slot = table_.find(flow);
+  if (!slot) return std::nullopt;
+  return FlowEstimate{flow, volume_.estimate(*slot), size_.estimate(*slot)};
+}
+
+std::vector<FlowMonitor::FlowEstimate> FlowMonitor::top_k(std::size_t k) const {
+  std::vector<FlowEstimate> all;
+  all.reserve(table_.size());
+  table_.for_each([&](std::uint32_t slot, const FiveTuple& key) {
+    all.push_back(FlowEstimate{key, volume_.estimate(slot), size_.estimate(slot)});
+  });
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(), [](const FlowEstimate& a, const FlowEstimate& b) {
+                      return a.bytes > b.bytes;
+                    });
+  all.resize(take);
+  return all;
+}
+
+FlowMonitor::Totals FlowMonitor::totals() const {
+  Totals t;
+  t.flows = table_.size();
+  table_.for_each([&](std::uint32_t slot, const FiveTuple&) {
+    t.bytes += volume_.estimate(slot);
+    t.packets += size_.estimate(slot);
+  });
+  return t;
+}
+
+FlowMonitor::MemoryReport FlowMonitor::memory() const {
+  return MemoryReport{volume_.storage_bits(), size_.storage_bits(),
+                      table_.storage_bits()};
+}
+
+FlowMonitor::EpochReport FlowMonitor::rotate() {
+  EpochReport report;
+  report.epoch = epoch_;
+  report.totals = totals();
+  report.flows.reserve(table_.size());
+  table_.for_each([&](std::uint32_t slot, const FiveTuple& key) {
+    report.flows.push_back(
+        FlowEstimate{key, volume_.estimate(slot), size_.estimate(slot)});
+  });
+  table_.clear();
+  volume_.reset();
+  size_.reset();
+  std::fill(last_seen_ns_.begin(), last_seen_ns_.end(), 0);
+  ++epoch_;
+  return report;
+}
+
+void FlowMonitor::snapshot(std::ostream& out) const {
+  put(out, kSnapshotMagic);
+  put(out, kSnapshotVersion);
+  put(out, static_cast<std::uint64_t>(config_.max_flows));
+  put(out, static_cast<std::int32_t>(config_.counter_bits));
+  put(out, config_.max_flow_bytes);
+  put(out, config_.max_flow_packets);
+  put(out, config_.seed);
+  put(out, epoch_);
+  put(out, packets_seen_);
+  put(out, rng_.state());
+  put(out, static_cast<std::uint64_t>(table_.size()));
+  // Entries are keyed by flow, not slot: restore re-derives slot numbers, so
+  // snapshots are insensitive to the eviction history's slot fragmentation.
+  table_.for_each([&](std::uint32_t slot, const FiveTuple& key) {
+    put_tuple(out, key);
+    put(out, volume_.value(slot));
+    put(out, size_.value(slot));
+    put(out, last_seen_ns_[slot]);
+  });
+  if (!out) throw std::runtime_error("FlowMonitor::snapshot: write failed");
+}
+
+FlowMonitor FlowMonitor::restore(std::istream& in) {
+  if (get<std::uint32_t>(in) != kSnapshotMagic) {
+    throw std::runtime_error("FlowMonitor::restore: bad magic");
+  }
+  if (get<std::uint32_t>(in) != kSnapshotVersion) {
+    throw std::runtime_error("FlowMonitor::restore: unsupported version");
+  }
+  Config config;
+  config.max_flows = static_cast<std::size_t>(get<std::uint64_t>(in));
+  if (config.max_flows == 0 || config.max_flows > (std::size_t{1} << 26)) {
+    // Sanity bound: a corrupted size field must not drive a multi-GB
+    // allocation.  64M flows is far beyond any monitored-link population.
+    throw std::runtime_error("FlowMonitor::restore: implausible max_flows");
+  }
+  config.counter_bits = get<std::int32_t>(in);
+  config.max_flow_bytes = get<std::uint64_t>(in);
+  config.max_flow_packets = get<std::uint64_t>(in);
+  config.seed = get<std::uint64_t>(in);
+
+  FlowMonitor monitor(config);
+  monitor.epoch_ = get<std::uint64_t>(in);
+  monitor.packets_seen_ = get<std::uint64_t>(in);
+  monitor.rng_.set_state(get<util::Rng::State>(in));
+
+  const auto flow_count = get<std::uint64_t>(in);
+  if (flow_count > config.max_flows) {
+    throw std::runtime_error("FlowMonitor::restore: snapshot exceeds capacity");
+  }
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    const auto key = get_tuple(in);
+    const auto volume_value = get<std::uint64_t>(in);
+    const auto size_value = get<std::uint64_t>(in);
+    const auto last_seen = get<std::uint64_t>(in);
+    const auto slot = monitor.table_.insert_or_get(key);
+    if (!slot) {
+      throw std::runtime_error("FlowMonitor::restore: corrupt key section");
+    }
+    monitor.volume_.set_value(*slot, volume_value);
+    monitor.size_.set_value(*slot, size_value);
+    monitor.last_seen_ns_[*slot] = last_seen;
+  }
+  return monitor;
+}
+
+}  // namespace disco::flowtable

@@ -1,0 +1,124 @@
+// FlowMonitor -- the public-facing facade of the library.
+//
+// This is what a downstream user embeds in a monitoring appliance: a flow
+// table plus DISCO counters for *both* flow volume (bytes) and flow size
+// (packets), the combination the paper's abstract promises from one small
+// SRAM budget.  The monitor supports on-line queries at any time (the
+// "active counter" property: estimation on a per-packet basis without DRAM
+// access), top-k reports, and a memory breakdown.
+//
+//   FlowMonitor monitor({.max_flows = 100'000, .counter_bits = 10,
+//                        .max_flow_bytes = 1u << 30});
+//   monitor.ingest(tuple, packet_len);
+//   auto stats = monitor.query(tuple);          // bytes and packets, unbiased
+//   auto heavy = monitor.top_k(10);             // heaviest flows by bytes
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "core/disco.hpp"
+#include "flowtable/flow_table.hpp"
+#include "trace/packet.hpp"
+#include "util/rng.hpp"
+
+namespace disco::flowtable {
+
+class FlowMonitor {
+ public:
+  struct Config {
+    std::size_t max_flows = 65536;
+    int counter_bits = 10;                   ///< per counter, volume and size
+    std::uint64_t max_flow_bytes = std::uint64_t{1} << 32;
+    std::uint64_t max_flow_packets = std::uint64_t{1} << 24;
+    std::uint64_t seed = 0x5eed;
+  };
+
+  explicit FlowMonitor(const Config& config);
+
+  /// Counts one packet.  Returns false if the packet's flow was rejected
+  /// because the flow table is full (the packet is then unaccounted, and the
+  /// rejection is visible in table().rejected_flows()).  `now_ns` stamps the
+  /// flow's last activity for idle eviction; pass 0 when not using timers.
+  bool ingest(const FiveTuple& flow, std::uint32_t length,
+              std::uint64_t now_ns = 0);
+
+  /// Per-flow on-line estimates.
+  struct FlowEstimate {
+    FiveTuple flow;
+    double bytes = 0.0;
+    double packets = 0.0;
+  };
+
+  [[nodiscard]] std::optional<FlowEstimate> query(const FiveTuple& flow) const;
+
+  /// NetFlow-style inactive timeout: exports and removes every flow idle for
+  /// longer than `idle_timeout_ns` as of `now_ns`, freeing table slots and
+  /// counters for new flows mid-epoch.  Returns the evicted flows' final
+  /// estimates.
+  std::vector<FlowEstimate> evict_idle(std::uint64_t now_ns,
+                                       std::uint64_t idle_timeout_ns);
+
+  /// The k flows with the largest estimated byte volume, descending.
+  [[nodiscard]] std::vector<FlowEstimate> top_k(std::size_t k) const;
+
+  /// Totals across all tracked flows.
+  struct Totals {
+    double bytes = 0.0;
+    double packets = 0.0;
+    std::size_t flows = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// Memory breakdown in bits, the quantity the paper budgets.
+  struct MemoryReport {
+    std::size_t volume_counter_bits = 0;
+    std::size_t size_counter_bits = 0;
+    std::size_t flow_table_bits = 0;
+    [[nodiscard]] std::size_t total() const noexcept {
+      return volume_counter_bits + size_counter_bits + flow_table_bits;
+    }
+  };
+  [[nodiscard]] MemoryReport memory() const;
+
+  [[nodiscard]] const FlowTable& table() const noexcept { return table_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_seen_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // --- measurement epochs ----------------------------------------------------
+  /// Ends the current measurement interval: returns every tracked flow's
+  /// final estimates, then clears the flow table and counters so the next
+  /// interval starts fresh.  This is how a monitoring appliance exports
+  /// per-interval reports without ever widening its SRAM.
+  struct EpochReport {
+    std::uint64_t epoch = 0;
+    std::vector<FlowEstimate> flows;
+    Totals totals;
+  };
+  EpochReport rotate();
+
+  // --- checkpoint / restore ----------------------------------------------------
+  /// Serialises the complete monitor state (config, flow table, counters,
+  /// RNG stream position) so monitoring can resume bit-exactly after a
+  /// restart.  Throws std::runtime_error on I/O failure.
+  void snapshot(std::ostream& out) const;
+
+  /// Rebuilds a monitor from a snapshot.  Throws std::runtime_error on
+  /// malformed input.
+  [[nodiscard]] static FlowMonitor restore(std::istream& in);
+
+ private:
+  Config config_;
+  FlowTable table_;
+  core::DiscoArray volume_;
+  core::DiscoArray size_;
+  std::vector<std::uint64_t> last_seen_ns_;
+  util::Rng rng_;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace disco::flowtable

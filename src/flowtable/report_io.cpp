@@ -1,0 +1,97 @@
+#include "flowtable/report_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace disco::flowtable {
+namespace {
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("report_io: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void write_report(std::ostream& out, const FlowMonitor::EpochReport& report) {
+  put(out, kReportMagic);
+  put(out, kReportVersion);
+  put(out, report.epoch);
+  put(out, report.totals.bytes);
+  put(out, report.totals.packets);
+  put(out, static_cast<std::uint64_t>(report.totals.flows));
+  put(out, static_cast<std::uint64_t>(report.flows.size()));
+  for (const auto& flow : report.flows) {
+    put(out, flow.flow.src_ip);
+    put(out, flow.flow.dst_ip);
+    put(out, flow.flow.src_port);
+    put(out, flow.flow.dst_port);
+    put(out, flow.flow.protocol);
+    put(out, flow.bytes);
+    put(out, flow.packets);
+  }
+  if (!out) throw std::runtime_error("report_io: write failed");
+}
+
+FlowMonitor::EpochReport read_report(std::istream& in) {
+  if (get<std::uint32_t>(in) != kReportMagic) {
+    throw std::runtime_error("report_io: bad magic (not a DRPT report)");
+  }
+  if (get<std::uint32_t>(in) != kReportVersion) {
+    throw std::runtime_error("report_io: unsupported version");
+  }
+  FlowMonitor::EpochReport report;
+  report.epoch = get<std::uint64_t>(in);
+  report.totals.bytes = get<double>(in);
+  report.totals.packets = get<double>(in);
+  report.totals.flows = static_cast<std::size_t>(get<std::uint64_t>(in));
+  const auto count = get<std::uint64_t>(in);
+  report.flows.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, std::uint64_t{1} << 20)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FlowMonitor::FlowEstimate flow;
+    flow.flow.src_ip = get<std::uint32_t>(in);
+    flow.flow.dst_ip = get<std::uint32_t>(in);
+    flow.flow.src_port = get<std::uint16_t>(in);
+    flow.flow.dst_port = get<std::uint16_t>(in);
+    flow.flow.protocol = get<std::uint8_t>(in);
+    flow.bytes = get<double>(in);
+    flow.packets = get<double>(in);
+    report.flows.push_back(flow);
+  }
+  return report;
+}
+
+void write_report_csv(std::ostream& out, const FlowMonitor::EpochReport& report) {
+  out << "src_ip,dst_ip,src_port,dst_port,protocol,bytes,packets\n";
+  for (const auto& flow : report.flows) {
+    out << flow.flow.src_ip << ',' << flow.flow.dst_ip << ','
+        << flow.flow.src_port << ',' << flow.flow.dst_port << ','
+        << static_cast<int>(flow.flow.protocol) << ',' << flow.bytes << ','
+        << flow.packets << '\n';
+  }
+  if (!out) throw std::runtime_error("report_io: CSV write failed");
+}
+
+FlowMonitor::EpochReport combine_reports(const FlowMonitor::EpochReport& a,
+                                         const FlowMonitor::EpochReport& b) {
+  FlowMonitor::EpochReport merged;
+  merged.epoch = a.epoch;
+  merged.flows = a.flows;
+  merged.flows.insert(merged.flows.end(), b.flows.begin(), b.flows.end());
+  merged.totals.bytes = a.totals.bytes + b.totals.bytes;
+  merged.totals.packets = a.totals.packets + b.totals.packets;
+  merged.totals.flows = a.totals.flows + b.totals.flows;
+  return merged;
+}
+
+}  // namespace disco::flowtable

@@ -1,0 +1,40 @@
+// Epoch-report serialisation: the export half of a measurement pipeline.
+//
+// A monitoring appliance rotates epochs and ships each interval's per-flow
+// records to a collector.  This module defines the wire format ("DRPT"): a
+// fixed header (epoch id, totals) followed by per-flow records (5-tuple,
+// estimated bytes, estimated packets).  Binary for collectors, CSV for
+// humans.  The collector side can re-aggregate reports from several
+// appliances (see merge semantics in core/disco.hpp for counter-level
+// aggregation; reports aggregate at the estimate level).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "flowtable/monitor.hpp"
+
+namespace disco::flowtable {
+
+inline constexpr std::uint32_t kReportMagic = 0x54505244;  // "DRPT" LE
+inline constexpr std::uint32_t kReportVersion = 1;
+
+/// Writes one epoch report.  Throws std::runtime_error on I/O failure.
+void write_report(std::ostream& out, const FlowMonitor::EpochReport& report);
+
+/// Reads a report written by write_report.  Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] FlowMonitor::EpochReport read_report(std::istream& in);
+
+/// Human-readable CSV: header row then "src_ip,dst_ip,src_port,dst_port,
+/// protocol,bytes,packets" per flow.
+void write_report_csv(std::ostream& out, const FlowMonitor::EpochReport& report);
+
+/// Collector-side aggregation: sums the totals and concatenates the flow
+/// records of two reports (same-key flows from different appliances appear
+/// as separate records; key-level fusion is the collector's policy choice).
+[[nodiscard]] FlowMonitor::EpochReport combine_reports(
+    const FlowMonitor::EpochReport& a, const FlowMonitor::EpochReport& b);
+
+}  // namespace disco::flowtable

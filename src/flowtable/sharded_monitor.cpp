@@ -1,0 +1,121 @@
+#include "flowtable/sharded_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace disco::flowtable {
+
+ShardedFlowMonitor::ShardedFlowMonitor(const Config& config) {
+  if (config.shards == 0 || config.shards > 1024) {
+    throw std::invalid_argument("ShardedFlowMonitor: shards must be in [1, 1024]");
+  }
+  shards_.reserve(config.shards);
+  for (unsigned s = 0; s < config.shards; ++s) {
+    FlowMonitor::Config shard_config = config.base;
+    // Split capacity with 25% headroom per shard: hashing is not perfectly
+    // balanced, and a shard rejecting flows while siblings have room would
+    // be a silent capacity loss.
+    shard_config.max_flows =
+        std::max<std::size_t>(16, (config.base.max_flows / config.shards) * 5 / 4);
+    shard_config.seed = config.base.seed + 0x9e3779b97f4a7c15ULL * (s + 1);
+    shards_.push_back(std::make_unique<Shard>(shard_config));
+  }
+}
+
+bool ShardedFlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
+                                std::uint64_t now_ns) {
+  Shard& shard = *shards_[shard_of(flow)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.monitor.ingest(flow, length, now_ns);
+}
+
+std::optional<FlowMonitor::FlowEstimate> ShardedFlowMonitor::query(
+    const FiveTuple& flow) const {
+  const Shard& shard = *shards_[shard_of(flow)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.monitor.query(flow);
+}
+
+FlowMonitor::Totals ShardedFlowMonitor::totals() const {
+  FlowMonitor::Totals aggregate;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const auto t = shard->monitor.totals();
+    aggregate.bytes += t.bytes;
+    aggregate.packets += t.packets;
+    aggregate.flows += t.flows;
+  }
+  return aggregate;
+}
+
+std::vector<FlowMonitor::FlowEstimate> ShardedFlowMonitor::top_k(
+    std::size_t k) const {
+  std::vector<FlowMonitor::FlowEstimate> all;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    auto local = shard->monitor.top_k(k);
+    all.insert(all.end(), local.begin(), local.end());
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(),
+                    [](const FlowMonitor::FlowEstimate& a,
+                       const FlowMonitor::FlowEstimate& b) {
+                      return a.bytes > b.bytes;
+                    });
+  all.resize(take);
+  return all;
+}
+
+FlowMonitor::MemoryReport ShardedFlowMonitor::memory() const {
+  FlowMonitor::MemoryReport aggregate;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const auto m = shard->monitor.memory();
+    aggregate.volume_counter_bits += m.volume_counter_bits;
+    aggregate.size_counter_bits += m.size_counter_bits;
+    aggregate.flow_table_bits += m.flow_table_bits;
+  }
+  return aggregate;
+}
+
+FlowMonitor::EpochReport ShardedFlowMonitor::rotate() {
+  FlowMonitor::EpochReport merged;
+  bool first = true;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    auto report = shard->monitor.rotate();
+    if (first) {
+      merged.epoch = report.epoch;
+      first = false;
+    }
+    merged.flows.insert(merged.flows.end(), report.flows.begin(),
+                        report.flows.end());
+    merged.totals.bytes += report.totals.bytes;
+    merged.totals.packets += report.totals.packets;
+    merged.totals.flows += report.totals.flows;
+  }
+  return merged;
+}
+
+std::vector<FlowMonitor::FlowEstimate> ShardedFlowMonitor::evict_idle(
+    std::uint64_t now_ns, std::uint64_t idle_timeout_ns) {
+  std::vector<FlowMonitor::FlowEstimate> merged;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    auto evicted = shard->monitor.evict_idle(now_ns, idle_timeout_ns);
+    merged.insert(merged.end(), evicted.begin(), evicted.end());
+  }
+  return merged;
+}
+
+std::uint64_t ShardedFlowMonitor::packets_seen() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->monitor.packets_seen();
+  }
+  return total;
+}
+
+}  // namespace disco::flowtable

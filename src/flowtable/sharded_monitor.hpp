@@ -1,0 +1,82 @@
+// Thread-safe sharded monitor: the multi-MicroEngine deployment pattern on a
+// host CPU.
+//
+// The paper scales DISCO across MicroEngines by letting several engines
+// update counters concurrently; the software analogue is sharding.  Flow
+// keys are partitioned by (the high bits of) their hash across independent
+// FlowMonitor shards, each guarded by its own mutex, so
+//   * a packet touches exactly one shard -- cross-thread contention occurs
+//     only when two threads hit the same shard simultaneously;
+//   * per-flow state never straddles shards, so every estimate is exactly
+//     what a single-shard monitor would produce for that flow;
+//   * aggregate queries (totals, top-k) lock shards one at a time and are
+//     linearisable per shard, not globally -- the usual monitoring trade.
+//
+// Sharding uses the hash's HIGH bits while the flow table's probe sequence
+// uses the LOW bits, so shard choice and in-table placement stay
+// decorrelated.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "flowtable/monitor.hpp"
+
+namespace disco::flowtable {
+
+class ShardedFlowMonitor {
+ public:
+  struct Config {
+    FlowMonitor::Config base;  ///< per-deployment totals; capacity is split
+    unsigned shards = 8;
+  };
+
+  explicit ShardedFlowMonitor(const Config& config);
+
+  /// Thread-safe packet ingest.  Returns false if the owning shard's flow
+  /// table is full.  `now_ns` feeds idle eviction, as in FlowMonitor.
+  bool ingest(const FiveTuple& flow, std::uint32_t length,
+              std::uint64_t now_ns = 0);
+
+  /// Thread-safe per-flow query.
+  [[nodiscard]] std::optional<FlowMonitor::FlowEstimate> query(
+      const FiveTuple& flow) const;
+
+  /// Aggregates across shards (locking each in turn).
+  [[nodiscard]] FlowMonitor::Totals totals() const;
+  [[nodiscard]] std::vector<FlowMonitor::FlowEstimate> top_k(std::size_t k) const;
+  [[nodiscard]] FlowMonitor::MemoryReport memory() const;
+  [[nodiscard]] std::uint64_t packets_seen() const;
+
+  /// Ends the measurement epoch on every shard and returns the merged
+  /// report.  Shards rotate one at a time; packets ingested concurrently
+  /// land in either the old or the new epoch of their shard (the standard
+  /// epoch-boundary semantics of a distributed monitor).
+  FlowMonitor::EpochReport rotate();
+
+  /// Idle eviction across all shards; returns the merged evicted set.
+  std::vector<FlowMonitor::FlowEstimate> evict_idle(std::uint64_t now_ns,
+                                                    std::uint64_t idle_timeout_ns);
+
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(const FlowMonitor::Config& config) : monitor(config) {}
+    mutable std::mutex mutex;
+    FlowMonitor monitor;
+  };
+
+  [[nodiscard]] std::size_t shard_of(const FiveTuple& flow) const noexcept {
+    // Top 32 bits of the key hash; the flow table consumes the low bits.
+    return static_cast<std::size_t>((hash_tuple(flow) >> 32) % shards_.size());
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace disco::flowtable

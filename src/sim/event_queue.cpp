@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace disco::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the callback handle (shared ownership in std::function is cheap
+  // relative to simulated work).
+  Event ev = events_.top();
+  events_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::run_until(SimTime t) {
+  std::uint64_t n = 0;
+  while (!events_.empty() && events_.top().at < t) {
+    step();
+    ++n;
+  }
+  if (t > now_) now_ = t;
+  return n;
+}
+
+}  // namespace disco::sim

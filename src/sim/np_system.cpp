@@ -1,0 +1,156 @@
+#include "sim/np_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/disco_fixed.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace disco::sim {
+
+NpResult run_np_simulation(const NpConfig& config) {
+  util::Rng rng(config.seed);
+  // TGEN: the paper's traffic pattern.
+  auto flows = trace::make_8020_flows(config.flow_count, config.mean_packets,
+                                      config.len_lo, config.len_hi, rng);
+  trace::PacketStream stream(std::move(flows), config.burst_lo, config.burst_hi,
+                             rng.next());
+  return run_np_simulation_on_trace(config, stream.drain(), config.flow_count);
+}
+
+NpResult run_np_simulation_on_trace(const NpConfig& config,
+                                    const std::vector<trace::PacketRecord>& packets,
+                                    std::uint32_t flow_count) {
+  if (config.num_mes < 1 || config.num_mes > 64) {
+    throw std::invalid_argument("run_np_simulation: num_mes out of range");
+  }
+
+  util::Rng rng(config.seed ^ 0xF00D);
+
+  // Ground truth (the exact counting element).
+  std::vector<std::uint64_t> truth_bytes(flow_count, 0);
+  std::uint64_t total_bytes = 0;
+  std::uint64_t max_flow_bytes = 1;
+  for (const auto& p : packets) {
+    truth_bytes[p.flow_id] += p.length;
+    total_bytes += p.length;
+  }
+  for (std::uint64_t v : truth_bytes) max_flow_bytes = std::max(max_flow_bytes, v);
+
+  // --- DISCO MEs: fixed-point path, shared Log&Exp table --------------------
+  util::LogExpTable::Config table_config;
+  table_config.b = util::choose_b(max_flow_bytes, config.counter_bits);
+  const util::LogExpTable table(table_config);
+  core::FixedPointDisco logic(table);
+  std::vector<std::uint64_t> counters(flow_count, 0);
+  std::vector<std::uint64_t> pending(flow_count, 0);  // burst aggregation
+
+  // --- timing model ----------------------------------------------------------
+  if (config.sram_channels < 1 || config.sram_channels > 16) {
+    throw std::invalid_argument("run_np_simulation: sram_channels out of range");
+  }
+  const MicroEngineCosts& costs = config.costs;
+  PipelinedResource ring(costs.ring_pop_issue_ns, costs.ring_pop_latency_ns);
+  // Counters are striped across channels by flow id (as SRAM banks would be).
+  std::vector<PipelinedResource> sram(
+      static_cast<std::size_t>(config.sram_channels),
+      PipelinedResource(costs.sram_issue_ns, costs.sram_latency_ns));
+  std::vector<SimTime> me_free(static_cast<std::size_t>(config.num_mes), 0);
+  SimTime makespan = 0;
+  std::uint64_t sram_updates = 0;
+
+  auto charge_counter_update = [&](std::size_t me, SimTime ready,
+                                   std::uint32_t flow, std::uint64_t amount) {
+    // The compute phase occupies the ME.  SRAM *latency* is hidden by the
+    // ME's other hardware threads, but the thread holds the packet until its
+    // operations are issued into the channel, so channel backlog (shared
+    // across MEs) feeds back into ME pacing.
+    PipelinedResource& channel = sram[flow % sram.size()];
+    const SimTime compute_done = ready + costs.compute_ns;
+    SimTime completion = compute_done;
+    for (int op = 0; op < costs.sram_ops_per_update; ++op) {
+      completion = channel.reserve(compute_done);
+    }
+    const SimTime last_issue_start = completion - costs.sram_latency_ns;
+    ++sram_updates;
+    counters[flow] = logic.update(counters[flow], amount, rng);
+    me_free[me] = std::max(compute_done, last_issue_start);
+    makespan = std::max(makespan, completion);
+  };
+
+  for (std::size_t idx = 0; idx < packets.size(); ++idx) {
+    const trace::PacketRecord& p = packets[idx];
+    // The shared ring serves the least-loaded ME first (all MEs poll it).
+    const std::size_t me = static_cast<std::size_t>(
+        std::min_element(me_free.begin(), me_free.end()) - me_free.begin());
+    const SimTime popped = ring.reserve(me_free[me]);
+
+    if (!config.burst_aggregation) {
+      charge_counter_update(me, popped, p.flow_id, p.length);
+      continue;
+    }
+
+    // Burst aggregation: accumulate in local memory; flush at burst end
+    // (next packet belongs to a different flow) with one discounted update.
+    pending[p.flow_id] += p.length;
+    const bool burst_ends =
+        idx + 1 >= packets.size() || packets[idx + 1].flow_id != p.flow_id;
+    if (burst_ends) {
+      const SimTime ready = popped + costs.accumulate_ns;
+      charge_counter_update(me, ready, p.flow_id, pending[p.flow_id]);
+      pending[p.flow_id] = 0;
+    } else {
+      me_free[me] = popped + costs.accumulate_ns;
+      makespan = std::max(makespan, me_free[me]);
+    }
+  }
+
+  // Flush any residue (streams always end bursts, but stay safe).
+  for (std::uint32_t f = 0; f < flow_count; ++f) {
+    if (pending[f] != 0) {
+      counters[f] = logic.update(counters[f], pending[f], rng);
+      pending[f] = 0;
+      ++sram_updates;
+    }
+  }
+
+  // --- error measurement against the exact element ---------------------------
+  double error_sum = 0.0;
+  std::size_t error_count = 0;
+  for (std::uint32_t f = 0; f < flow_count; ++f) {
+    if (truth_bytes[f] == 0) continue;
+    const double est = logic.estimate(counters[f]);
+    error_sum += util::relative_error(est, static_cast<double>(truth_bytes[f]));
+    ++error_count;
+  }
+
+  NpResult result;
+  result.packets = packets.size();
+  result.bytes = total_bytes;
+  result.makespan_ns = makespan;
+  result.throughput_gbps =
+      makespan == 0 ? 0.0
+                    : static_cast<double>(total_bytes) * 8.0 /
+                          static_cast<double>(makespan);
+  result.avg_relative_error =
+      error_count == 0 ? 0.0 : error_sum / static_cast<double>(error_count);
+  SimTime sram_busy = 0;
+  for (const auto& channel : sram) sram_busy += channel.busy_time();
+  result.sram_utilization =
+      makespan == 0 ? 0.0
+                    : static_cast<double>(sram_busy) /
+                          static_cast<double>(makespan * sram.size());
+  result.ring_utilization =
+      makespan == 0 ? 0.0
+                    : static_cast<double>(ring.busy_time()) /
+                          static_cast<double>(makespan);
+  result.sram_updates = sram_updates;
+  result.table_storage_bits = table.storage_bits();
+  return result;
+}
+
+}  // namespace disco::sim

@@ -1,0 +1,33 @@
+#include "stats/error.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace disco::stats {
+
+ErrorReport relative_error_report(const std::vector<double>& estimates,
+                                  const std::vector<std::uint64_t>& truths) {
+  if (estimates.size() != truths.size()) {
+    throw std::invalid_argument("relative_error_report: size mismatch");
+  }
+  ErrorReport report;
+  report.samples.reserve(estimates.size());
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    if (truths[i] == 0) continue;
+    const double n = static_cast<double>(truths[i]);
+    const double r = std::fabs(estimates[i] - n) / n;
+    report.samples.add(r);
+    sum += r;
+    ++counted;
+    if (r > report.maximum) report.maximum = r;
+  }
+  if (counted > 0) {
+    report.average = sum / static_cast<double>(counted);
+    report.optimistic95 = report.samples.quantile(0.95);
+  }
+  return report;
+}
+
+}  // namespace disco::stats

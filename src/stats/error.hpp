@@ -1,0 +1,33 @@
+// Relative-error metrics exactly as defined in the paper's Section V-A.
+//
+//   R        = |n_hat - n| / n                      (per-flow relative error)
+//   R_bar    = mean of R over all counters          (average relative error)
+//   R_max    = max of R over all counters           (worst case)
+//   R_o(a)   = sup { r : Pr(R <= r) >= a }          (a-optimistic error)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace disco::stats {
+
+/// Full relative-error profile of one (method, workload, configuration) run.
+struct ErrorReport {
+  double average = 0.0;
+  double maximum = 0.0;
+  double optimistic95 = 0.0;  ///< R_o(0.95)
+  util::SampleSet samples;    ///< per-flow R values, for CDFs and quantiles
+
+  [[nodiscard]] double optimistic(double alpha) const {
+    return samples.quantile(alpha);
+  }
+};
+
+/// Builds an ErrorReport from paired estimates and ground-truth values.
+/// Flows with zero truth are skipped (no packets arrived; R is undefined).
+[[nodiscard]] ErrorReport relative_error_report(const std::vector<double>& estimates,
+                                                const std::vector<std::uint64_t>& truths);
+
+}  // namespace disco::stats

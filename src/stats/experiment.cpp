@@ -1,0 +1,60 @@
+#include "stats/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace disco::stats {
+
+const char* to_string(CountingMode mode) noexcept {
+  return mode == CountingMode::kVolume ? "volume" : "size";
+}
+
+std::uint64_t max_flow_length(const std::vector<trace::FlowRecord>& flows,
+                              CountingMode mode) noexcept {
+  std::uint64_t max_len = 0;
+  for (const auto& f : flows) {
+    const std::uint64_t len =
+        mode == CountingMode::kVolume ? f.bytes() : f.packets();
+    max_len = std::max(max_len, len);
+  }
+  return max_len;
+}
+
+AccuracyResult run_accuracy(CounterMethod& method,
+                            const std::vector<trace::FlowRecord>& flows,
+                            CountingMode mode, int bits, std::uint64_t seed) {
+  AccuracyResult result;
+  result.method = method.name();
+  result.mode = mode;
+  result.bits = bits;
+
+  const std::uint64_t max_flow = std::max<std::uint64_t>(1, max_flow_length(flows, mode));
+  method.prepare(flows.size(), bits, max_flow);
+
+  util::Rng rng(seed);
+  result.truths.resize(flows.size());
+  result.estimates.resize(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const trace::FlowRecord& flow = flows[i];
+    if (mode == CountingMode::kVolume) {
+      for (std::uint32_t l : flow.lengths) method.add(i, l, rng);
+      result.truths[i] = flow.bytes();
+    } else {
+      for (std::size_t p = 0; p < flow.packets(); ++p) method.add(i, 1, rng);
+      result.truths[i] = flow.packets();
+    }
+  }
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    result.estimates[i] = method.estimate(i);
+    result.max_counter_value =
+        std::max(result.max_counter_value, method.counter_value(i));
+  }
+  result.max_counter_bits = util::bit_width_u64(result.max_counter_value);
+  result.storage_bits = method.storage_bits();
+  result.errors = relative_error_report(result.estimates, result.truths);
+  return result;
+}
+
+}  // namespace disco::stats

@@ -1,0 +1,56 @@
+// The accuracy-experiment harness behind Figs. 5-10 and Tables II-III.
+//
+// An experiment is: a flow population (trace substrate), a counting mode
+// (flow volume = bytes, flow size = packets), a per-counter bit budget, and a
+// counting method.  The harness feeds every packet of every flow to the
+// method and compares the final estimates with exact truth.
+//
+// Counter updates of distinct flows never interact (SAC's global
+// renormalisation is the one exception, and it is array-wide state handled
+// inside the method), so packets are replayed flow-by-flow; interleaving
+// would change nothing about accuracy and only cost memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/error.hpp"
+#include "stats/methods.hpp"
+#include "trace/packet.hpp"
+
+namespace disco::stats {
+
+enum class CountingMode {
+  kVolume,  ///< count bytes: update increment is the packet length
+  kSize,    ///< count packets: update increment is 1
+};
+
+[[nodiscard]] const char* to_string(CountingMode mode) noexcept;
+
+struct AccuracyResult {
+  std::string method;
+  CountingMode mode = CountingMode::kVolume;
+  int bits = 0;
+  ErrorReport errors;
+  /// Per-flow parallel arrays (flows with zero truth included here, skipped
+  /// in `errors`): truth, estimate.  Feed Fig. 10-style scatters.
+  std::vector<std::uint64_t> truths;
+  std::vector<double> estimates;
+  std::uint64_t max_counter_value = 0;
+  int max_counter_bits = 0;       ///< "largest counter bits" (paper's metric)
+  std::size_t storage_bits = 0;   ///< allocated SRAM
+};
+
+/// Runs one (method, trace, mode, bits) accuracy experiment.  `seed` drives
+/// every probabilistic update; identical seeds give identical results.
+[[nodiscard]] AccuracyResult run_accuracy(CounterMethod& method,
+                                          const std::vector<trace::FlowRecord>& flows,
+                                          CountingMode mode, int bits,
+                                          std::uint64_t seed);
+
+/// Largest per-flow truth under `mode` -- the provisioning input.
+[[nodiscard]] std::uint64_t max_flow_length(const std::vector<trace::FlowRecord>& flows,
+                                            CountingMode mode) noexcept;
+
+}  // namespace disco::stats

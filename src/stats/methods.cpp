@@ -1,0 +1,179 @@
+#include "stats/methods.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace disco::stats {
+
+// --- DiscoMethod -----------------------------------------------------------
+
+void DiscoMethod::prepare(std::size_t flows, int bits, std::uint64_t max_flow) {
+  array_.emplace(flows, bits, max_flow);
+}
+
+void DiscoMethod::add(std::size_t i, std::uint64_t l, util::Rng& rng) {
+  array_->add(i, l, rng);
+}
+
+double DiscoMethod::estimate(std::size_t i) const { return array_->estimate(i); }
+
+std::uint64_t DiscoMethod::counter_value(std::size_t i) const {
+  return array_->value(i);
+}
+
+std::size_t DiscoMethod::storage_bits() const { return array_->storage_bits(); }
+
+// --- DiscoFixedMethod ------------------------------------------------------
+
+void DiscoFixedMethod::prepare(std::size_t flows, int bits, std::uint64_t max_flow) {
+  auto config = table_config_;
+  config.b = util::choose_b(max_flow, bits);
+  table_ = std::make_unique<util::LogExpTable>(config);
+  array_.emplace(flows, bits, *table_);
+}
+
+void DiscoFixedMethod::add(std::size_t i, std::uint64_t l, util::Rng& rng) {
+  array_->add(i, l, rng);
+}
+
+double DiscoFixedMethod::estimate(std::size_t i) const { return array_->estimate(i); }
+
+std::uint64_t DiscoFixedMethod::counter_value(std::size_t i) const {
+  return array_->value(i);
+}
+
+std::size_t DiscoFixedMethod::storage_bits() const {
+  // Counters plus the shared on-chip table.
+  return array_->storage_bits() + table_->storage_bits();
+}
+
+// --- SacMethod --------------------------------------------------------------
+
+void SacMethod::prepare(std::size_t flows, int bits, std::uint64_t /*max_flow*/) {
+  // The paper sets "k = 3" in the original SAC notation, where k is the
+  // *exponent* (mode) field; the estimation part gets the remaining
+  // bits - 3.  That is what makes SAC's accuracy improve with counter size
+  // in Figs. 5-7 (its mantissa grows) while DISCO improves via a smaller b.
+  if (bits < exponent_bits_ + 2) {
+    throw std::invalid_argument("SacMethod: bits too small for k=3 split");
+  }
+  array_.emplace(flows, bits, /*estimation_bits=*/bits - exponent_bits_);
+}
+
+void SacMethod::add(std::size_t i, std::uint64_t l, util::Rng& rng) {
+  array_->add(i, l, rng);
+}
+
+double SacMethod::estimate(std::size_t i) const { return array_->estimate(i); }
+
+std::uint64_t SacMethod::counter_value(std::size_t i) const {
+  // Concatenated (mode, A) fields -- the raw stored bits.
+  return (array_->mode_part(i) << array_->estimation_bits()) |
+         array_->estimation_part(i);
+}
+
+std::size_t SacMethod::storage_bits() const { return array_->storage_bits(); }
+
+// --- AnlsIMethod -------------------------------------------------------------
+
+void AnlsIMethod::prepare(std::size_t flows, int bits, std::uint64_t max_flow) {
+  bits_ = bits;
+  const double p = counters::AnlsICounter::rate_for_budget(max_flow, bits);
+  counters_.assign(flows, counters::AnlsICounter(p));
+}
+
+void AnlsIMethod::add(std::size_t i, std::uint64_t l, util::Rng& rng) {
+  counters_[i].add(l, rng);
+}
+
+double AnlsIMethod::estimate(std::size_t i) const { return counters_[i].estimate(); }
+
+std::uint64_t AnlsIMethod::counter_value(std::size_t i) const {
+  return counters_[i].value();
+}
+
+std::size_t AnlsIMethod::storage_bits() const {
+  return counters_.size() * static_cast<std::size_t>(bits_);
+}
+
+// --- AnlsIIMethod ------------------------------------------------------------
+
+void AnlsIIMethod::prepare(std::size_t flows, int bits, std::uint64_t max_flow) {
+  bits_ = bits;
+  const double b = util::choose_b(max_flow, bits);
+  counters_.assign(flows, counters::AnlsIICounter(b));
+}
+
+void AnlsIIMethod::add(std::size_t i, std::uint64_t l, util::Rng& rng) {
+  counters_[i].add(l, rng);
+}
+
+double AnlsIIMethod::estimate(std::size_t i) const { return counters_[i].estimate(); }
+
+std::uint64_t AnlsIIMethod::counter_value(std::size_t i) const {
+  return counters_[i].value();
+}
+
+std::size_t AnlsIIMethod::storage_bits() const {
+  return counters_.size() * static_cast<std::size_t>(bits_);
+}
+
+// --- ExactMethod --------------------------------------------------------------
+
+void ExactMethod::prepare(std::size_t flows, int bits, std::uint64_t /*max_flow*/) {
+  bits_ = bits;
+  array_.emplace(flows);
+}
+
+void ExactMethod::add(std::size_t i, std::uint64_t l, util::Rng& /*rng*/) {
+  array_->add(i, l);
+}
+
+double ExactMethod::estimate(std::size_t i) const {
+  return static_cast<double>(array_->value(i));
+}
+
+std::uint64_t ExactMethod::counter_value(std::size_t i) const {
+  return array_->value(i);
+}
+
+std::size_t ExactMethod::storage_bits() const {
+  return array_->size() * static_cast<std::size_t>(bits_);
+}
+
+// --- SdMethod -------------------------------------------------------------------
+
+void SdMethod::prepare(std::size_t flows, int bits, std::uint64_t /*max_flow*/) {
+  counters::SdArray::Config config;
+  config.size = flows;
+  config.sram_bits = bits;
+  array_.emplace(config);
+}
+
+void SdMethod::add(std::size_t i, std::uint64_t l, util::Rng& /*rng*/) {
+  array_->add(i, l);
+}
+
+double SdMethod::estimate(std::size_t i) const { return array_->estimate(i); }
+
+std::uint64_t SdMethod::counter_value(std::size_t i) const {
+  return array_->value(i);
+}
+
+std::size_t SdMethod::storage_bits() const { return array_->sram_storage_bits(); }
+
+// --- factory ----------------------------------------------------------------------
+
+MethodPtr make_method(const std::string& name) {
+  if (name == "DISCO") return std::make_unique<DiscoMethod>();
+  if (name == "DISCO-fixed") return std::make_unique<DiscoFixedMethod>();
+  if (name == "SAC") return std::make_unique<SacMethod>();
+  if (name == "ANLS-I") return std::make_unique<AnlsIMethod>();
+  if (name == "ANLS-II") return std::make_unique<AnlsIIMethod>();
+  if (name == "exact") return std::make_unique<ExactMethod>();
+  if (name == "SD") return std::make_unique<SdMethod>();
+  throw std::invalid_argument("make_method: unknown method '" + name + "'");
+}
+
+}  // namespace disco::stats

@@ -1,0 +1,167 @@
+// Uniform adapter layer over every counting method in the repository.
+//
+// The evaluation harness (experiment.hpp) drives all methods through this
+// interface: allocate counters for a flow population under a per-counter bit
+// budget, feed packets, read estimates.  Each adapter owns the provisioning
+// logic the paper implies for its method (e.g. DISCO derives b from the bit
+// budget and the largest expected flow; ANLS-I derives its sampling rate the
+// same way; SAC splits its budget into k estimation + s exponent bits).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/disco.hpp"
+#include "core/disco_fixed.hpp"
+#include "counters/anls.hpp"
+#include "counters/exact.hpp"
+#include "counters/sac.hpp"
+#include "counters/sd.hpp"
+#include "util/log_table.hpp"
+#include "util/rng.hpp"
+
+namespace disco::stats {
+
+/// One counting method, array form.
+class CounterMethod {
+ public:
+  virtual ~CounterMethod() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Allocates `flows` counters of `bits` bits each, provisioned so flows up
+  /// to `max_flow` (bytes or packets, per the experiment) are representable.
+  virtual void prepare(std::size_t flows, int bits, std::uint64_t max_flow) = 0;
+
+  /// Feeds an update of l (bytes; 1 for flow size counting) to counter i.
+  virtual void add(std::size_t i, std::uint64_t l, util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual double estimate(std::size_t i) const = 0;
+
+  /// The raw stored counter value (for "largest counter bits" accounting).
+  [[nodiscard]] virtual std::uint64_t counter_value(std::size_t i) const = 0;
+
+  /// Counter SRAM actually allocated, in bits.
+  [[nodiscard]] virtual std::size_t storage_bits() const = 0;
+};
+
+using MethodPtr = std::unique_ptr<CounterMethod>;
+
+/// DISCO, double-precision math path (the reference implementation).
+class DiscoMethod final : public CounterMethod {
+ public:
+  [[nodiscard]] std::string name() const override { return "DISCO"; }
+  void prepare(std::size_t flows, int bits, std::uint64_t max_flow) override;
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) override;
+  [[nodiscard]] double estimate(std::size_t i) const override;
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  std::optional<core::DiscoArray> array_;
+};
+
+/// DISCO on the fixed-point Log&Exp table (the NP implementation path).
+class DiscoFixedMethod final : public CounterMethod {
+ public:
+  explicit DiscoFixedMethod(util::LogExpTable::Config table_config = {})
+      : table_config_(table_config) {}
+
+  [[nodiscard]] std::string name() const override { return "DISCO-fixed"; }
+  void prepare(std::size_t flows, int bits, std::uint64_t max_flow) override;
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) override;
+  [[nodiscard]] double estimate(std::size_t i) const override;
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  util::LogExpTable::Config table_config_;
+  std::unique_ptr<util::LogExpTable> table_;
+  std::optional<core::FixedPointDiscoArray> array_;
+};
+
+/// SAC with the paper's k = 3 exponent (mode) bits; the estimation part gets
+/// the remaining budget (original SAC notation: q = l + k with k the mode).
+class SacMethod final : public CounterMethod {
+ public:
+  explicit SacMethod(int exponent_bits = 3) : exponent_bits_(exponent_bits) {}
+
+  [[nodiscard]] std::string name() const override { return "SAC"; }
+  void prepare(std::size_t flows, int bits, std::uint64_t max_flow) override;
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) override;
+  [[nodiscard]] double estimate(std::size_t i) const override;
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  int exponent_bits_;
+  std::optional<counters::SacArray> array_;
+};
+
+/// ANLS-I (E1): byte-accumulating fixed-rate sampling.
+class AnlsIMethod final : public CounterMethod {
+ public:
+  [[nodiscard]] std::string name() const override { return "ANLS-I"; }
+  void prepare(std::size_t flows, int bits, std::uint64_t max_flow) override;
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) override;
+  [[nodiscard]] double estimate(std::size_t i) const override;
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  std::vector<counters::AnlsICounter> counters_;
+  int bits_ = 0;
+};
+
+/// ANLS-II (E2): per-byte ANLS trials; accuracy like DISCO, O(l) updates.
+class AnlsIIMethod final : public CounterMethod {
+ public:
+  [[nodiscard]] std::string name() const override { return "ANLS-II"; }
+  void prepare(std::size_t flows, int bits, std::uint64_t max_flow) override;
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) override;
+  [[nodiscard]] double estimate(std::size_t i) const override;
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  std::vector<counters::AnlsIICounter> counters_;
+  int bits_ = 0;
+};
+
+/// Exact 64-bit counters (ground truth; also the SD/full-size ideal).
+class ExactMethod final : public CounterMethod {
+ public:
+  [[nodiscard]] std::string name() const override { return "exact"; }
+  void prepare(std::size_t flows, int bits, std::uint64_t max_flow) override;
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) override;
+  [[nodiscard]] double estimate(std::size_t i) const override;
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  std::optional<counters::ExactArray> array_;
+  int bits_ = 64;
+};
+
+/// SD hybrid architecture: exact values, SRAM bits = budget, DRAM behind.
+class SdMethod final : public CounterMethod {
+ public:
+  [[nodiscard]] std::string name() const override { return "SD"; }
+  void prepare(std::size_t flows, int bits, std::uint64_t max_flow) override;
+  void add(std::size_t i, std::uint64_t l, util::Rng& rng) override;
+  [[nodiscard]] double estimate(std::size_t i) const override;
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const override;
+  [[nodiscard]] std::size_t storage_bits() const override;
+
+ private:
+  std::optional<counters::SdArray> array_;
+};
+
+/// Factory for the standard method lineup by name ("DISCO", "DISCO-fixed",
+/// "SAC", "ANLS-I", "ANLS-II", "exact", "SD"); throws on unknown names.
+[[nodiscard]] MethodPtr make_method(const std::string& name);
+
+}  // namespace disco::stats

@@ -1,0 +1,33 @@
+// Plain-text table rendering for bench output -- the benches print the same
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace disco::stats {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+  /// CSV form of the same data (for plotting).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.0316").
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+/// Scientific-ish compact formatting for wide-range values ("4.1e+07").
+[[nodiscard]] std::string fmt_sci(double value, int precision = 2);
+
+}  // namespace disco::stats

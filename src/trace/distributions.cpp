@@ -1,0 +1,91 @@
+#include "trace/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace disco::trace {
+
+ParetoCount::ParetoCount(double shape, double scale, std::uint64_t cap)
+    : shape_(shape), scale_(scale), cap_(cap) {
+  if (!(shape > 0.0) || !(scale >= 1.0)) {
+    throw std::invalid_argument("ParetoCount: shape > 0 and scale >= 1 required");
+  }
+}
+
+std::uint64_t ParetoCount::sample(util::Rng& rng) const {
+  // Inverse CDF: x = scale / U^(1/shape), U in (0, 1].
+  const double u = 1.0 - rng.next_double();  // (0, 1]
+  const double x = scale_ / std::pow(u, 1.0 / shape_);
+  auto n = static_cast<std::uint64_t>(x);
+  if (n < 1) n = 1;
+  if (cap_ != 0 && n > cap_) n = cap_;
+  return n;
+}
+
+ExponentialCount::ExponentialCount(double mean, std::uint64_t min_count)
+    : mean_(mean), min_(min_count) {
+  if (!(mean > 0.0)) throw std::invalid_argument("ExponentialCount: mean > 0");
+}
+
+std::uint64_t ExponentialCount::sample(util::Rng& rng) const {
+  const double u = 1.0 - rng.next_double();  // (0, 1]
+  const double x = -mean_ * std::log(u);
+  const auto n = static_cast<std::uint64_t>(x);
+  return std::max(n, min_);
+}
+
+UniformCount::UniformCount(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {
+  if (lo < 1 || hi < lo) throw std::invalid_argument("UniformCount: need 1 <= lo <= hi");
+}
+
+std::uint64_t UniformCount::sample(util::Rng& rng) const {
+  return rng.uniform_u64(lo_, hi_);
+}
+
+TruncatedExponentialLength::TruncatedExponentialLength(double mean, std::uint32_t lo,
+                                                       std::uint32_t hi)
+    : mean_(mean), lo_(lo), hi_(hi) {
+  if (!(mean > 0.0) || lo < 1 || hi < lo) {
+    throw std::invalid_argument("TruncatedExponentialLength: bad parameters");
+  }
+}
+
+std::uint32_t TruncatedExponentialLength::sample(util::Rng& rng) const {
+  const double u = 1.0 - rng.next_double();
+  const double x = -mean_ * std::log(u);
+  const auto l = static_cast<std::uint32_t>(std::lround(x));
+  return std::clamp(l, lo_, hi_);
+}
+
+UniformLength::UniformLength(std::uint32_t lo, std::uint32_t hi) : lo_(lo), hi_(hi) {
+  if (lo < 1 || hi < lo) throw std::invalid_argument("UniformLength: need 1 <= lo <= hi");
+}
+
+std::uint32_t UniformLength::sample(util::Rng& rng) const {
+  return static_cast<std::uint32_t>(rng.uniform_u64(lo_, hi_));
+}
+
+BimodalLength::BimodalLength(const Config& config) : config_(config) {
+  if (config.small_weight < 0.0 || config.full_weight < 0.0 ||
+      config.small_weight + config.full_weight > 1.0 ||
+      config.small_lo < 1 || config.small_hi < config.small_lo ||
+      config.mtu <= config.small_hi) {
+    throw std::invalid_argument("BimodalLength: inconsistent configuration");
+  }
+}
+
+std::uint32_t BimodalLength::sample(util::Rng& rng) const {
+  const double u = rng.next_double();
+  if (u < config_.small_weight) {
+    return static_cast<std::uint32_t>(
+        rng.uniform_u64(config_.small_lo, config_.small_hi));
+  }
+  if (u < config_.small_weight + config_.full_weight) {
+    return config_.mtu;
+  }
+  return static_cast<std::uint32_t>(
+      rng.uniform_u64(config_.small_hi + 1, config_.mtu - 1));
+}
+
+}  // namespace disco::trace

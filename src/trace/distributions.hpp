@@ -1,0 +1,145 @@
+// Random distributions used by the synthetic traffic generators.
+//
+// Each distribution is a small polymorphic sampler; generation cost is
+// negligible next to the counting work, so a virtual call is the right
+// trade for composability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace disco::trace {
+
+/// Distribution over per-flow packet counts.
+class CountDistribution {
+ public:
+  virtual ~CountDistribution() = default;
+  /// Draws a packet count >= 1.
+  [[nodiscard]] virtual std::uint64_t sample(util::Rng& rng) const = 0;
+};
+
+/// Distribution over packet lengths in bytes.
+class LengthDistribution {
+ public:
+  virtual ~LengthDistribution() = default;
+  /// Draws a packet length >= 1.
+  [[nodiscard]] virtual std::uint32_t sample(util::Rng& rng) const = 0;
+};
+
+// --- packet count distributions -------------------------------------------
+
+/// Pareto Type I: P(X > x) = (scale/x)^shape for x >= scale.  Heavy-tailed;
+/// the paper's Scenario 1 uses shape 1.053, scale 4.  `cap` bounds the tail
+/// so a single astronomically large flow cannot dominate run time; 0 means
+/// uncapped.
+class ParetoCount final : public CountDistribution {
+ public:
+  ParetoCount(double shape, double scale, std::uint64_t cap = 0);
+  [[nodiscard]] std::uint64_t sample(util::Rng& rng) const override;
+
+ private:
+  double shape_;
+  double scale_;
+  std::uint64_t cap_;
+};
+
+/// Exponential with the given mean, floored at min_count (Scenario 2).
+class ExponentialCount final : public CountDistribution {
+ public:
+  ExponentialCount(double mean, std::uint64_t min_count = 1);
+  [[nodiscard]] std::uint64_t sample(util::Rng& rng) const override;
+
+ private:
+  double mean_;
+  std::uint64_t min_;
+};
+
+/// Uniform integer in [lo, hi] (Scenario 3: 2..1600).
+class UniformCount final : public CountDistribution {
+ public:
+  UniformCount(std::uint64_t lo, std::uint64_t hi);
+  [[nodiscard]] std::uint64_t sample(util::Rng& rng) const override;
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+/// Always the same count (degenerate; used by theory-validation benches).
+class FixedCount final : public CountDistribution {
+ public:
+  explicit FixedCount(std::uint64_t n) : n_(n) {}
+  [[nodiscard]] std::uint64_t sample(util::Rng&) const override { return n_; }
+
+ private:
+  std::uint64_t n_;
+};
+
+// --- packet length distributions ------------------------------------------
+
+/// The paper's synthetic packet length: exponential with mean `mean`,
+/// clipped into [lo, hi] ("truncate exponential distribution between 40 and
+/// 1500 with location parameter lambda = 100").  Clipping (rather than
+/// rejection) reproduces the scenarios' reported per-flow byte averages.
+class TruncatedExponentialLength final : public LengthDistribution {
+ public:
+  TruncatedExponentialLength(double mean, std::uint32_t lo, std::uint32_t hi);
+  [[nodiscard]] std::uint32_t sample(util::Rng& rng) const override;
+
+ private:
+  double mean_;
+  std::uint32_t lo_;
+  std::uint32_t hi_;
+};
+
+/// Uniform length in [lo, hi] (the NP experiment: 64 B .. 1 KB).
+class UniformLength final : public LengthDistribution {
+ public:
+  UniformLength(std::uint32_t lo, std::uint32_t hi);
+  [[nodiscard]] std::uint32_t sample(util::Rng& rng) const override;
+
+ private:
+  std::uint32_t lo_;
+  std::uint32_t hi_;
+};
+
+/// Constant length (flow size counting reduces to this with l = 1).
+class ConstantLength final : public LengthDistribution {
+ public:
+  explicit ConstantLength(std::uint32_t l) : l_(l) {}
+  [[nodiscard]] std::uint32_t sample(util::Rng&) const override { return l_; }
+
+ private:
+  std::uint32_t l_;
+};
+
+/// Internet-like bimodal mix standing in for the NLANR real trace: a spike of
+/// small (ACK-sized) packets, a spike at full MTU, and a uniform middle.
+/// Defaults give a mean near 620 B and a very high per-flow length variance,
+/// matching the properties the paper's accuracy results depend on.
+class BimodalLength final : public LengthDistribution {
+ public:
+  struct Config {
+    double small_weight = 0.50;   ///< P(length in [small_lo, small_hi])
+    double full_weight = 0.28;    ///< P(length == mtu)
+    std::uint32_t small_lo = 40;
+    std::uint32_t small_hi = 64;
+    std::uint32_t mtu = 1500;
+  };
+
+  BimodalLength() : BimodalLength(Config{}) {}
+  explicit BimodalLength(const Config& config);
+  [[nodiscard]] std::uint32_t sample(util::Rng& rng) const override;
+
+ private:
+  Config config_;
+};
+
+// Shared-pointer helpers: generators hold distributions by shared_ptr so a
+// scenario object is freely copyable.
+using CountDistPtr = std::shared_ptr<const CountDistribution>;
+using LengthDistPtr = std::shared_ptr<const LengthDistribution>;
+
+}  // namespace disco::trace

@@ -1,0 +1,167 @@
+#include "trace/pcap.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace disco::trace {
+namespace {
+
+constexpr std::size_t kEthernetHeader = 14;
+constexpr std::size_t kIpv4Header = 20;
+constexpr std::size_t kUdpHeader = 8;
+constexpr std::size_t kHeaders = kEthernetHeader + kIpv4Header + kUdpHeader;
+constexpr std::uint32_t kMinWireBytes = kIpv4Header + kUdpHeader;
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("pcap: truncated input");
+  return v;
+}
+
+void put_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+[[nodiscard]] std::uint16_t read_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+[[nodiscard]] std::uint32_t read_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+/// RFC 1071 ones'-complement checksum over the IPv4 header.
+[[nodiscard]] std::uint16_t ipv4_checksum(const std::uint8_t* header) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kIpv4Header; i += 2) {
+    sum += read_be16(header + i);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace
+
+void write_pcap(std::ostream& out, const std::vector<PacketRecord>& packets) {
+  // Global header.
+  put(out, kPcapMagicNanos);
+  put(out, static_cast<std::uint16_t>(2));  // version 2.4
+  put(out, static_cast<std::uint16_t>(4));
+  put(out, std::int32_t{0});                 // thiszone
+  put(out, std::uint32_t{0});                // sigfigs
+  put(out, kPcapSnaplen);
+  put(out, std::uint32_t{1});                // linktype: Ethernet
+
+  std::array<std::uint8_t, kHeaders> frame{};
+  for (const PacketRecord& p : packets) {
+    const std::uint32_t wire_bytes = std::max(p.length, kMinWireBytes);
+
+    // Record header: ts_sec, ts_nsec, incl_len (headers only), orig_len.
+    put(out, static_cast<std::uint32_t>(p.timestamp_ns / 1'000'000'000ull));
+    put(out, static_cast<std::uint32_t>(p.timestamp_ns % 1'000'000'000ull));
+    put(out, static_cast<std::uint32_t>(kHeaders));
+    put(out, wire_bytes + static_cast<std::uint32_t>(kEthernetHeader));
+
+    frame.fill(0);
+    // Ethernet: synthetic MACs, EtherType IPv4.
+    frame[5] = 0x01;
+    frame[11] = 0x02;
+    put_be16(frame.data() + 12, 0x0800);
+    // IPv4.
+    std::uint8_t* ip = frame.data() + kEthernetHeader;
+    ip[0] = 0x45;  // version 4, IHL 5
+    put_be16(ip + 2, static_cast<std::uint16_t>(
+                         std::min<std::uint32_t>(wire_bytes, 0xffff)));
+    ip[8] = 64;    // TTL
+    ip[9] = 17;    // UDP
+    put_be32(ip + 12, 0x0a000000u + p.flow_id);  // src: 10.x.x.x + flow id
+    put_be32(ip + 16, 0xc0a80001u);              // dst: 192.168.0.1
+    put_be16(ip + 10, ipv4_checksum(ip));
+    // UDP.
+    std::uint8_t* udp = ip + kIpv4Header;
+    put_be16(udp, static_cast<std::uint16_t>(p.flow_id & 0xffff));
+    put_be16(udp + 2, 4789);
+    put_be16(udp + 4, static_cast<std::uint16_t>(
+                          std::min<std::uint32_t>(wire_bytes - kIpv4Header, 0xffff)));
+
+    out.write(reinterpret_cast<const char*>(frame.data()), frame.size());
+  }
+  if (!out) throw std::runtime_error("pcap: write failed");
+}
+
+std::vector<PacketRecord> read_pcap(std::istream& in) {
+  if (get<std::uint32_t>(in) != kPcapMagicNanos) {
+    throw std::runtime_error("pcap: bad magic (expect nanosecond pcap)");
+  }
+  (void)get<std::uint16_t>(in);  // version major
+  (void)get<std::uint16_t>(in);  // version minor
+  (void)get<std::int32_t>(in);
+  (void)get<std::uint32_t>(in);
+  (void)get<std::uint32_t>(in);  // snaplen
+  if (get<std::uint32_t>(in) != 1) {
+    throw std::runtime_error("pcap: unsupported linktype (want Ethernet)");
+  }
+
+  std::vector<PacketRecord> packets;
+  std::array<std::uint8_t, kHeaders> frame{};
+  for (;;) {
+    std::uint32_t ts_sec = 0;
+    in.read(reinterpret_cast<char*>(&ts_sec), sizeof(ts_sec));
+    if (in.eof()) break;
+    if (!in) throw std::runtime_error("pcap: truncated record header");
+    const auto ts_nsec = get<std::uint32_t>(in);
+    const auto incl_len = get<std::uint32_t>(in);
+    const auto orig_len = get<std::uint32_t>(in);
+    if (incl_len != kHeaders) {
+      throw std::runtime_error("pcap: unexpected capture length");
+    }
+    in.read(reinterpret_cast<char*>(frame.data()), frame.size());
+    if (!in) throw std::runtime_error("pcap: truncated frame");
+
+    const std::uint8_t* ip = frame.data() + kEthernetHeader;
+    if (read_be16(frame.data() + 12) != 0x0800 || ip[9] != 17) {
+      throw std::runtime_error("pcap: not a synthetic IPv4/UDP frame");
+    }
+    PacketRecord p;
+    p.flow_id = read_be32(ip + 12) - 0x0a000000u;
+    p.length = orig_len - static_cast<std::uint32_t>(kEthernetHeader);
+    p.timestamp_ns =
+        static_cast<std::uint64_t>(ts_sec) * 1'000'000'000ull + ts_nsec;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+void write_pcap_file(const std::string& path, const std::vector<PacketRecord>& packets) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pcap: cannot open for write: " + path);
+  write_pcap(out, packets);
+}
+
+std::vector<PacketRecord> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open for read: " + path);
+  return read_pcap(in);
+}
+
+}  // namespace disco::trace

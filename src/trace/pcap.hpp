@@ -1,0 +1,43 @@
+// Classic libpcap file export/import for synthetic traces.
+//
+// Interop escape hatch: a trace generated here can be inspected with
+// tcpdump/wireshark, and the flow mapping survives a round trip.  Each
+// PacketRecord becomes one Ethernet + IPv4 + UDP frame whose header fields
+// encode the record:
+//   * IPv4 total length  = 20 + 8 + payload so the wire length matches the
+//     record's `length` (minimum 46 B on the wire -- records shorter than an
+//     IP+UDP header cannot be represented and are clamped; real traces never
+//     contain them);
+//   * source IP          = 10.0.0.0/8 + flow_id (dense ids fit /8);
+//   * UDP source port    = low 16 bits of flow_id (redundant check);
+//   * pcap timestamps    = the record's timestamp_ns.
+// Frames are truncated captures (snaplen = headers only): byte-accurate
+// accounting needs lengths, not payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace disco::trace {
+
+inline constexpr std::uint32_t kPcapMagicNanos = 0xa1b23c4d;  // nanosecond pcap
+inline constexpr std::uint32_t kPcapSnaplen = 42;  // Ethernet + IPv4 + UDP
+
+/// Writes `packets` as a nanosecond-resolution pcap stream.  Throws
+/// std::runtime_error on I/O failure.
+void write_pcap(std::ostream& out, const std::vector<PacketRecord>& packets);
+
+/// Parses a pcap stream produced by write_pcap back into packet records.
+/// Throws std::runtime_error on malformed input (bad magic, truncation,
+/// non-IPv4/UDP frames).
+[[nodiscard]] std::vector<PacketRecord> read_pcap(std::istream& in);
+
+/// File-path conveniences.
+void write_pcap_file(const std::string& path, const std::vector<PacketRecord>& packets);
+[[nodiscard]] std::vector<PacketRecord> read_pcap_file(const std::string& path);
+
+}  // namespace disco::trace

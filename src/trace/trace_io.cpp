@@ -1,0 +1,89 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace disco::trace {
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  // The repository targets little-endian hosts (x86-64 / aarch64); a static
+  // assert in read keeps surprises loud if that ever changes.
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("trace_io: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const std::vector<PacketRecord>& packets,
+                 std::uint32_t flow_count) {
+  put(out, kTraceMagic);
+  put(out, kTraceVersion);
+  put(out, flow_count);
+  put(out, static_cast<std::uint64_t>(packets.size()));
+  for (const PacketRecord& p : packets) {
+    put(out, p.flow_id);
+    put(out, p.length);
+    put(out, p.timestamp_ns);
+  }
+  if (!out) throw std::runtime_error("trace_io: write failed");
+}
+
+TraceData read_trace(std::istream& in) {
+  static_assert(sizeof(PacketRecord) >= 16, "record layout sanity");
+  if (get<std::uint32_t>(in) != kTraceMagic) {
+    throw std::runtime_error("trace_io: bad magic (not a DTRC trace)");
+  }
+  const auto version = get<std::uint32_t>(in);
+  if (version != kTraceVersion) {
+    throw std::runtime_error("trace_io: unsupported version " + std::to_string(version));
+  }
+  TraceData data;
+  data.flow_count = get<std::uint32_t>(in);
+  const auto count = get<std::uint64_t>(in);
+  // A corrupted count field must not drive a giant up-front allocation; cap
+  // the reservation and let truncated streams fail on the first short read.
+  data.packets.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, std::uint64_t{1} << 20)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PacketRecord p;
+    p.flow_id = get<std::uint32_t>(in);
+    p.length = get<std::uint32_t>(in);
+    p.timestamp_ns = get<std::uint64_t>(in);
+    data.packets.push_back(p);
+  }
+  return data;
+}
+
+void write_trace_file(const std::string& path, const std::vector<PacketRecord>& packets,
+                      std::uint32_t flow_count) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace_io: cannot open for write: " + path);
+  write_trace(out, packets, flow_count);
+}
+
+TraceData read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open for read: " + path);
+  return read_trace(in);
+}
+
+void write_trace_csv(std::ostream& out, const std::vector<PacketRecord>& packets) {
+  out << "flow_id,length,timestamp_ns\n";
+  for (const PacketRecord& p : packets) {
+    out << p.flow_id << ',' << p.length << ',' << p.timestamp_ns << '\n';
+  }
+  if (!out) throw std::runtime_error("trace_io: CSV write failed");
+}
+
+}  // namespace disco::trace

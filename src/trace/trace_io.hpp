@@ -1,0 +1,52 @@
+// Binary and CSV trace serialisation.
+//
+// The binary format ("DTRC") is a flat little-endian record stream with a
+// fixed header -- the shape a capture appliance would emit.  It exists so
+// experiments can be re-run on identical traffic, traces can be shipped
+// between machines, and the examples can demonstrate the offline half of the
+// paper's "both off-line and on-line access" claim.
+//
+// Layout:
+//   magic   u32  'D' 'T' 'R' 'C'
+//   version u32  (currently 1)
+//   flows   u32  number of distinct flow ids
+//   packets u64  record count
+//   records: packets x { flow_id u32, length u32, timestamp_ns u64 }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace disco::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x43525444;  // "DTRC" LE
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Writes packets to a binary trace stream.  Throws std::runtime_error on
+/// I/O failure.
+void write_trace(std::ostream& out, const std::vector<PacketRecord>& packets,
+                 std::uint32_t flow_count);
+
+/// Reads a binary trace stream written by write_trace.  Throws
+/// std::runtime_error on malformed input (bad magic, truncated records,
+/// version mismatch).
+struct TraceData {
+  std::uint32_t flow_count = 0;
+  std::vector<PacketRecord> packets;
+};
+[[nodiscard]] TraceData read_trace(std::istream& in);
+
+/// File-path conveniences.
+void write_trace_file(const std::string& path, const std::vector<PacketRecord>& packets,
+                      std::uint32_t flow_count);
+[[nodiscard]] TraceData read_trace_file(const std::string& path);
+
+/// Human-readable CSV export: "flow_id,length,timestamp_ns" per line with a
+/// header row.
+void write_trace_csv(std::ostream& out, const std::vector<PacketRecord>& packets);
+
+}  // namespace disco::trace

@@ -1,0 +1,68 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+namespace disco::trace {
+
+std::vector<FlowTruth> flow_truths(const std::vector<FlowRecord>& flows) {
+  std::vector<FlowTruth> truths;
+  truths.reserve(flows.size());
+  for (const FlowRecord& f : flows) {
+    truths.push_back(FlowTruth{f.id, f.packets(), f.bytes(), f.length_variance()});
+  }
+  return truths;
+}
+
+TraceSummary summarize(const std::vector<FlowRecord>& flows) {
+  TraceSummary s;
+  s.flow_count = flows.size();
+  if (flows.empty()) return s;
+  std::uint64_t high_variance = 0;
+  double variance_sum = 0.0;
+  for (const FlowRecord& f : flows) {
+    const std::uint64_t packets = f.packets();
+    const std::uint64_t bytes = f.bytes();
+    s.total_packets += packets;
+    s.total_bytes += bytes;
+    s.max_flow_packets = std::max(s.max_flow_packets, packets);
+    s.max_flow_bytes = std::max(s.max_flow_bytes, bytes);
+    const double variance = f.length_variance();
+    variance_sum += variance;
+    if (variance > 10.0) ++high_variance;
+  }
+  const auto n = static_cast<double>(flows.size());
+  s.mean_packets_per_flow = static_cast<double>(s.total_packets) / n;
+  s.mean_bytes_per_flow = static_cast<double>(s.total_bytes) / n;
+  s.share_length_variance_gt10 = static_cast<double>(high_variance) / n;
+  s.mean_length_variance = variance_sum / n;
+  return s;
+}
+
+std::vector<FlowTruth> truths_from_packets(const std::vector<PacketRecord>& packets,
+                                           std::uint32_t flow_count) {
+  // Two passes: exact totals streamed, then variance via per-flow means.
+  std::vector<FlowTruth> truths(flow_count);
+  for (std::uint32_t id = 0; id < flow_count; ++id) truths[id].id = id;
+  for (const PacketRecord& p : packets) {
+    FlowTruth& t = truths.at(p.flow_id);
+    ++t.packets;
+    t.bytes += p.length;
+  }
+  std::vector<double> m2(flow_count, 0.0);
+  std::vector<double> mean(flow_count, 0.0);
+  std::vector<std::uint64_t> seen(flow_count, 0);
+  for (const PacketRecord& p : packets) {
+    const std::uint32_t id = p.flow_id;
+    ++seen[id];
+    const double delta = static_cast<double>(p.length) - mean[id];
+    mean[id] += delta / static_cast<double>(seen[id]);
+    m2[id] += delta * (static_cast<double>(p.length) - mean[id]);
+  }
+  for (std::uint32_t id = 0; id < flow_count; ++id) {
+    truths[id].length_variance =
+        seen[id] < 2 ? 0.0 : m2[id] / static_cast<double>(seen[id] - 1);
+  }
+  return truths;
+}
+
+}  // namespace disco::trace

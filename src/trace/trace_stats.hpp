@@ -1,0 +1,48 @@
+// Ground-truth statistics over a set of flows.
+//
+// The evaluation compares estimator output against exact per-flow truth, and
+// Table III needs intra-flow packet-length-variance statistics; both are
+// computed here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace disco::trace {
+
+/// Exact per-flow truth for one flow.
+struct FlowTruth {
+  std::uint32_t id = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double length_variance = 0.0;
+};
+
+/// Aggregate workload descriptors (the numbers the paper quotes when it
+/// introduces each trace: flow count, mean flow size, variance shares...).
+struct TraceSummary {
+  std::uint64_t flow_count = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+  double mean_packets_per_flow = 0.0;
+  double mean_bytes_per_flow = 0.0;
+  std::uint64_t max_flow_bytes = 0;
+  std::uint64_t max_flow_packets = 0;
+  /// Share of flows whose packet-length variance exceeds 10 (Table III).
+  double share_length_variance_gt10 = 0.0;
+  /// Mean packet-length variance across flows (paper: 10^3..10^4 range).
+  double mean_length_variance = 0.0;
+};
+
+[[nodiscard]] std::vector<FlowTruth> flow_truths(const std::vector<FlowRecord>& flows);
+
+[[nodiscard]] TraceSummary summarize(const std::vector<FlowRecord>& flows);
+
+/// Rebuilds per-flow truth from an interleaved packet stream (the offline
+/// path: exact accounting from a stored trace).
+[[nodiscard]] std::vector<FlowTruth> truths_from_packets(
+    const std::vector<PacketRecord>& packets, std::uint32_t flow_count);
+
+}  // namespace disco::trace

@@ -1,0 +1,80 @@
+// Fenwick (binary indexed) tree over non-negative weights with
+// sample-by-prefix-sum -- O(log n) point update and weighted sampling.
+//
+// Used by the traffic interleaver to schedule flows proportionally to their
+// remaining packets, so heavy flows drain at the same relative rate as mice
+// and the arrival stream has no artificial single-flow tail.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace disco::util {
+
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n) : tree_(n + 1, 0), values_(n, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t value(std::size_t i) const noexcept {
+    assert(i < values_.size());
+    return values_[i];
+  }
+
+  /// Sets the weight at index i.
+  void set(std::size_t i, std::uint64_t w) noexcept {
+    assert(i < values_.size());
+    const std::int64_t delta =
+        static_cast<std::int64_t>(w) - static_cast<std::int64_t>(values_[i]);
+    values_[i] = w;
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) + delta);
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tree_[j]) + delta);
+    }
+  }
+
+  void add(std::size_t i, std::int64_t delta) noexcept {
+    set(i, static_cast<std::uint64_t>(
+               static_cast<std::int64_t>(values_[i]) + delta));
+  }
+
+  /// Sum of weights in [0, i).
+  [[nodiscard]] std::uint64_t prefix_sum(std::size_t i) const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  /// Smallest index i with prefix_sum(i+1) > target, i.e. the index selected
+  /// by throwing `target` (in [0, total())) onto the cumulative weights.
+  [[nodiscard]] std::size_t sample(std::uint64_t target) const noexcept {
+    assert(target < total_);
+    std::size_t pos = 0;
+    std::size_t mask = pow2_floor(tree_.size() - 1);
+    std::uint64_t remaining = target;
+    while (mask > 0) {
+      const std::size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= remaining) {
+        remaining -= tree_[next];
+        pos = next;
+      }
+      mask >>= 1;
+    }
+    return pos;  // 0-based index of the selected element
+  }
+
+ private:
+  static std::size_t pow2_floor(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p * 2 <= n) p *= 2;
+    return p;
+  }
+
+  std::vector<std::uint64_t> tree_;
+  std::vector<std::uint64_t> values_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace disco::util

@@ -1,0 +1,83 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace disco::util {
+
+void StreamingStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double StreamingStats::coefficient_of_variation() const noexcept {
+  return mean_ == 0.0 ? 0.0 : stddev() / std::fabs(mean_);
+}
+
+double SampleSet::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double SampleSet::max() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_ || sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (values_.empty()) throw std::logic_error("SampleSet::quantile: empty");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleSet::cdf(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_curve(int points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (values_.empty() || points < 2) return curve;
+  const double hi = max();
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = hi * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.emplace_back(x, cdf(x));
+  }
+  return curve;
+}
+
+}  // namespace disco::util

@@ -1,0 +1,67 @@
+// Streaming and batch statistics used throughout the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace disco::util {
+
+/// Single-pass mean / variance / extrema accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Coefficient of variation stddev/|mean|; 0 when mean is 0.
+  [[nodiscard]] double coefficient_of_variation() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample container with quantile / CDF queries.  The evaluation keeps
+/// per-flow relative errors (1e5-ish values), so storing them outright is the
+/// simple and exact choice.
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// q-quantile with linear interpolation, q in [0, 1].  quantile(0.95) is
+  /// the paper's 0.95-optimistic relative error: the smallest r such that at
+  /// least 95% of samples are <= r.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Empirical CDF evaluated at x: P(sample <= x).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Evenly spaced (x, P(X<=x)) curve with `points` samples spanning
+  /// [0, max]; used to print the paper's Fig. 8.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_curve(int points) const;
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace disco::util

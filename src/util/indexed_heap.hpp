@@ -1,0 +1,91 @@
+// Indexed max-heap: a binary heap over (key, priority) pairs that supports
+// update-priority-by-key in O(log n).  Used by the SD counter architecture's
+// largest-counter-first counter-management algorithm, where the priority of
+// a counter changes on every increment.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace disco::util {
+
+/// Max-heap over dense keys 0..n-1 with 64-bit priorities.  All keys are
+/// always present (priority 0 initially); `increase`/`set` reposition keys.
+class IndexedMaxHeap {
+ public:
+  explicit IndexedMaxHeap(std::size_t n) : heap_(n), pos_(n), prio_(n, 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] std::uint64_t priority(std::size_t key) const noexcept {
+    assert(key < prio_.size());
+    return prio_[key];
+  }
+
+  /// Key with the largest priority (ties arbitrary).
+  [[nodiscard]] std::size_t top() const noexcept {
+    assert(!heap_.empty());
+    return heap_[0];
+  }
+
+  [[nodiscard]] std::uint64_t top_priority() const noexcept {
+    return prio_[top()];
+  }
+
+  void set(std::size_t key, std::uint64_t priority) noexcept {
+    assert(key < prio_.size());
+    const std::uint64_t old = prio_[key];
+    prio_[key] = priority;
+    if (priority > old) {
+      sift_up(pos_[key]);
+    } else if (priority < old) {
+      sift_down(pos_[key]);
+    }
+  }
+
+  void increase(std::size_t key, std::uint64_t delta) noexcept {
+    set(key, prio_[key] + delta);
+  }
+
+ private:
+  void sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (prio_[heap_[parent]] >= prio_[heap_[i]]) break;
+      swap_nodes(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && prio_[heap_[l]] > prio_[heap_[best]]) best = l;
+      if (r < n && prio_[heap_[r]] > prio_[heap_[best]]) best = r;
+      if (best == i) break;
+      swap_nodes(i, best);
+      i = best;
+    }
+  }
+
+  void swap_nodes(std::size_t i, std::size_t j) noexcept {
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i]] = i;
+    pos_[heap_[j]] = j;
+  }
+
+  std::vector<std::size_t> heap_;  // heap index -> key
+  std::vector<std::size_t> pos_;   // key -> heap index
+  std::vector<std::uint64_t> prio_;
+};
+
+}  // namespace disco::util

@@ -1,0 +1,172 @@
+#include "util/log_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace disco::util {
+
+LogExpTable::LogExpTable(const Config& config) : config_(config) {
+  if (config.entries < 2) {
+    throw std::invalid_argument("LogExpTable: need at least 2 entries");
+  }
+  if (config.pow_mantissa_bits < 4 || config.pow_mantissa_bits > 32 ||
+      config.log_mantissa_bits < 4 || config.log_mantissa_bits > 32 ||
+      config.pow_mantissa_bits + config.log_mantissa_bits > 64) {
+    throw std::invalid_argument("LogExpTable: mantissa widths out of range");
+  }
+  const GeometricScale scale(config.b);  // validates b
+
+  const int n = config.entries;
+  packed_.resize(static_cast<std::size_t>(n));
+  pow_shift_.resize(static_cast<std::size_t>(n));
+  step_shift_.resize(static_cast<std::size_t>(n));
+  pow_mask_ = config.pow_mantissa_bits >= 32
+                  ? ~std::uint32_t{0}
+                  : ((std::uint32_t{1} << config.pow_mantissa_bits) - 1);
+  log_mask_ = config.log_mantissa_bits >= 32
+                  ? ~std::uint32_t{0}
+                  : ((std::uint32_t{1} << config.log_mantissa_bits) - 1);
+
+  // Quantise y to `bits` mantissa bits: y ~= mantissa << shift.
+  auto quantize = [](double y, int bits, std::uint32_t& mantissa,
+                     std::uint8_t& shift) {
+    if (y < 0.5) {  // f(0) = 0
+      mantissa = 0;
+      shift = 0;
+      return;
+    }
+    int e = 0;
+    double m = y;
+    const double limit = static_cast<double>((std::uint64_t{1} << bits) - 1);
+    while (m > limit) {
+      m /= 2.0;
+      ++e;
+    }
+    mantissa = static_cast<std::uint32_t>(std::llround(m));
+    if (static_cast<double>(mantissa) > limit) {  // rounding pushed past limit
+      mantissa >>= 1;
+      ++e;
+    }
+    shift = static_cast<std::uint8_t>(e);
+  };
+
+  std::uint64_t prev_f = 0;
+  for (int c = 0; c < n; ++c) {
+    std::uint32_t fm = 0;
+    std::uint32_t sm = 0;
+    std::uint8_t fs = 0;
+    std::uint8_t ss = 0;
+    quantize(scale.f(static_cast<double>(c)), config.pow_mantissa_bits, fm, fs);
+    quantize(scale.step(static_cast<double>(c)), config.log_mantissa_bits, sm, ss);
+    if (sm == 0) sm = 1;  // increment width is at least one byte/packet
+
+    // Enforce strict monotonicity of the quantised f so that update
+    // probabilities have positive denominators.  The adjustment is at most
+    // one ulp of the mantissa grid.
+    std::uint64_t fv = static_cast<std::uint64_t>(fm) << fs;
+    if (c > 0 && fv <= prev_f) {
+      fv = prev_f + 1;
+      // Re-derive a representable mantissa/shift for the bumped value.
+      int e = 0;
+      std::uint64_t m = fv;
+      const std::uint64_t limit = (std::uint64_t{1} << config.pow_mantissa_bits) - 1;
+      while (m > limit) {
+        m = (m + 1) >> 1;  // round up so monotonicity survives re-encoding
+        ++e;
+      }
+      fm = static_cast<std::uint32_t>(m);
+      fs = static_cast<std::uint8_t>(e);
+      fv = static_cast<std::uint64_t>(fm) << fs;
+    }
+    prev_f = fv;
+
+    packed_[static_cast<std::size_t>(c)] =
+        ((fm & pow_mask_) << config.log_mantissa_bits) | (sm & log_mask_);
+    pow_shift_[static_cast<std::size_t>(c)] = fs;
+    step_shift_[static_cast<std::size_t>(c)] = ss;
+  }
+}
+
+std::size_t LogExpTable::storage_bits() const noexcept {
+  const auto n = static_cast<std::size_t>(config_.entries);
+  const auto entry_bits = static_cast<std::size_t>(config_.pow_mantissa_bits +
+                                                   config_.log_mantissa_bits);
+  return n * entry_bits + n * 16;  // packed fields + two side shift bytes
+}
+
+std::uint64_t LogExpTable::table_f(std::uint32_t c) const noexcept {
+  const std::uint32_t w = packed_[c];
+  const std::uint32_t m = (w >> config_.log_mantissa_bits) & pow_mask_;
+  return static_cast<std::uint64_t>(m) << pow_shift_[c];
+}
+
+std::uint64_t LogExpTable::table_step(std::uint32_t c) const noexcept {
+  const std::uint32_t m = packed_[c] & log_mask_;
+  return static_cast<std::uint64_t>(m) << step_shift_[c];
+}
+
+std::uint64_t LogExpTable::f(std::uint64_t c) const noexcept {
+  const auto n = static_cast<std::uint64_t>(config_.entries);
+  if (c < n) return table_f(static_cast<std::uint32_t>(c));
+  // Shift-and-sum extension: f(x + y) = f(x) * b^y + f(y) with y = n - 1.
+  const std::uint64_t y = n - 1;
+  std::uint64_t acc = 0;
+  std::uint64_t rem = c;
+  // Peel chunks of y from the outside in: f(rem) = f(rem - y) * b^y + f(y).
+  // Iteratively: acc' = acc * b^y + f(y), applied k times over f(r).
+  std::uint64_t chunks = 0;
+  while (rem >= n) {
+    rem -= y;
+    ++chunks;
+  }
+  acc = table_f(static_cast<std::uint32_t>(rem));
+  const std::uint64_t by = table_step(static_cast<std::uint32_t>(y));
+  const std::uint64_t fy = table_f(static_cast<std::uint32_t>(y));
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    acc = acc * by + fy;
+  }
+  return acc;
+}
+
+std::uint64_t LogExpTable::step(std::uint64_t c) const noexcept {
+  const auto n = static_cast<std::uint64_t>(config_.entries);
+  if (c < n) return table_step(static_cast<std::uint32_t>(c));
+  // b^(x + y) = b^x * b^y.
+  const std::uint64_t y = n - 1;
+  std::uint64_t acc = 1;
+  std::uint64_t rem = c;
+  const std::uint64_t by = table_step(static_cast<std::uint32_t>(y));
+  while (rem >= n) {
+    rem -= y;
+    acc *= by;
+  }
+  return acc * table_step(static_cast<std::uint32_t>(rem));
+}
+
+std::uint64_t LogExpTable::inverse_at_least(std::uint64_t target,
+                                            std::uint64_t c) const noexcept {
+  // Gallop out from c, then binary search.  f is strictly increasing, so the
+  // search is well defined; typical deltas are tiny (the whole point of
+  // discount counting), so the gallop usually terminates in a step or two.
+  std::uint64_t lo = c + 1;
+  if (f(lo) >= target) return lo;
+  std::uint64_t span = 1;
+  std::uint64_t hi = lo;
+  while (f(hi) < target) {
+    lo = hi;
+    hi += span;
+    span *= 2;
+  }
+  // Invariant: f(lo) < target <= f(hi).
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (f(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace disco::util

@@ -1,0 +1,47 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+
+namespace disco::util {
+
+GeometricScale::GeometricScale(double b) : b_(b), ln_b_(std::log(b)), bm1_(b - 1.0) {
+  if (!(b > 1.0) || !std::isfinite(b)) {
+    throw std::invalid_argument("GeometricScale: base b must be finite and > 1");
+  }
+}
+
+double choose_b(std::uint64_t max_flow, int counter_bits) {
+  if (counter_bits < 1 || counter_bits > 62) {
+    throw std::invalid_argument("choose_b: counter_bits must be in [1, 62]");
+  }
+  if (max_flow == 0) {
+    throw std::invalid_argument("choose_b: max_flow must be positive");
+  }
+  const double c_max = static_cast<double>((std::uint64_t{1} << counter_bits) - 1);
+  const double n = static_cast<double>(max_flow);
+
+  // If the counter can hold max_flow directly, any b > 1 works; return a
+  // base tiny enough that counting is (near-)exact.
+  if (n <= c_max) return 1.0 + 1e-12;
+
+  // g(b) = f_b(c_max) - n is increasing in b; bisect for the root.
+  auto g = [&](double b) {
+    return std::expm1(c_max * std::log(b)) / (b - 1.0) - n;
+  };
+  double lo = 1.0 + 1e-12;
+  double hi = 4.0;
+  if (g(hi) < 0.0) {
+    throw std::invalid_argument("choose_b: flow too large even for b = 4");
+  }
+  for (int i = 0; i < 200 && (hi - lo) > 1e-15; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;  // upper end guarantees f(c_max) >= max_flow
+}
+
+}  // namespace disco::util

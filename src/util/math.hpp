@@ -1,0 +1,77 @@
+// Numeric core shared by DISCO and its baselines.
+//
+// The central object is GeometricScale, the paper's regulation function
+//
+//     f(c) = (b^c - 1) / (b - 1),            b > 1      (eq. 1)
+//
+// together with its inverse f^-1(n) = log_b(1 + n (b-1)).  With the b values
+// used in practice (1.0005 .. 1.1) the naive formulas cancel catastrophically,
+// so everything is computed through expm1/log1p.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace disco::util {
+
+/// Number of bits needed to store value v (0 -> 0 bits, 1 -> 1, 255 -> 8...).
+[[nodiscard]] constexpr int bit_width_u64(std::uint64_t v) noexcept {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// The paper's counter-regulation function f and friends for a fixed base b.
+///
+/// All heavy-path calls are inline and allocation-free; constructing a
+/// GeometricScale costs two libm calls.
+class GeometricScale {
+ public:
+  /// b must be > 1; typical values lie in (1.0001, 1.5].
+  explicit GeometricScale(double b);
+
+  [[nodiscard]] double b() const noexcept { return b_; }
+  [[nodiscard]] double ln_b() const noexcept { return ln_b_; }
+
+  /// f(c) = (b^c - 1)/(b - 1), defined for real c >= 0.
+  [[nodiscard]] double f(double c) const noexcept {
+    return std::expm1(c * ln_b_) / bm1_;
+  }
+
+  /// f^-1(n) = log_b(1 + n (b-1)), defined for real n >= 0.
+  [[nodiscard]] double f_inv(double n) const noexcept {
+    return std::log1p(n * bm1_) / ln_b_;
+  }
+
+  /// Increment width at counter value c: f(c+1) - f(c) = b^c.
+  [[nodiscard]] double step(double c) const noexcept {
+    return std::exp(c * ln_b_);
+  }
+
+ private:
+  double b_;
+  double ln_b_;
+  double bm1_;  // b - 1
+};
+
+/// Smallest b > 1 such that a counter of `counter_bits` bits (max value
+/// 2^bits - 1) can represent a flow of length `max_flow`:  f_b(2^bits - 1) >=
+/// max_flow.  This is how an operator provisions DISCO for a given SRAM
+/// budget; the evaluation section sweeps counter_bits and derives b this way.
+///
+/// Solved by bisection on b in (1, 4]; throws std::invalid_argument for
+/// impossible requests (max_flow representable only with b <= 1, i.e.
+/// max_flow <= 2^bits - 1, returns the smallest sensible b instead of 1).
+[[nodiscard]] double choose_b(std::uint64_t max_flow, int counter_bits);
+
+/// Relative gap |a - b| / max(|b|, eps); convenience for tests and reports.
+[[nodiscard]] inline double relative_error(double estimate, double truth) noexcept {
+  const double denom = std::fabs(truth) > 1e-300 ? std::fabs(truth) : 1e-300;
+  return std::fabs(estimate - truth) / denom;
+}
+
+}  // namespace disco::util

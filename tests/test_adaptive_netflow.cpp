@@ -1,0 +1,96 @@
+// Tests for the Adaptive NetFlow / BNF baseline (paper reference [6]).
+#include "counters/adaptive_netflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+
+namespace disco::counters {
+namespace {
+
+TEST(AdaptiveNetFlow, RejectsBadConfig) {
+  AdaptiveNetFlow::Config c;
+  c.max_entries = 0;
+  EXPECT_THROW(AdaptiveNetFlow{c}, std::invalid_argument);
+  c = {};
+  c.decrease_factor = 1.0;
+  EXPECT_THROW(AdaptiveNetFlow{c}, std::invalid_argument);
+}
+
+TEST(AdaptiveNetFlow, ExactWhileMemoryLasts) {
+  AdaptiveNetFlow::Config config;
+  config.max_entries = 64;
+  AdaptiveNetFlow nf(config);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) nf.add_packet(7, rng);
+  EXPECT_DOUBLE_EQ(nf.estimate(7), 100.0);
+  EXPECT_DOUBLE_EQ(nf.rate(), 1.0);
+  EXPECT_EQ(nf.renormalizations(), 0u);
+}
+
+TEST(AdaptiveNetFlow, UntrackedFlowEstimatesZero) {
+  AdaptiveNetFlow nf(AdaptiveNetFlow::Config{});
+  EXPECT_DOUBLE_EQ(nf.estimate(42), 0.0);
+}
+
+TEST(AdaptiveNetFlow, RateAdaptsUnderMemoryPressure) {
+  AdaptiveNetFlow::Config config;
+  config.max_entries = 32;
+  AdaptiveNetFlow nf(config);
+  util::Rng rng(2);
+  // 500 distinct flows through 32 entries: the rate must fall.
+  for (std::uint64_t f = 0; f < 500; ++f) {
+    for (int i = 0; i < 5; ++i) nf.add_packet(f, rng);
+  }
+  EXPECT_LT(nf.rate(), 1.0);
+  EXPECT_GT(nf.renormalizations(), 0u);
+  EXPECT_LE(nf.entries(), 32u);
+  EXPECT_GT(nf.renormalization_work(), 0u);
+}
+
+TEST(AdaptiveNetFlow, LargeFlowEstimateSurvivesRenormalization) {
+  AdaptiveNetFlow::Config config;
+  config.max_entries = 16;
+  util::Rng rng(3);
+  const double truth = 20000.0;
+  double sum = 0.0;
+  const int runs = 150;
+  for (int r = 0; r < runs; ++r) {
+    AdaptiveNetFlow nf(config);
+    // One elephant interleaved with mice churn that forces renorms.
+    for (int i = 0; i < 20000; ++i) {
+      nf.add_packet(0, rng);
+      if (i % 10 == 0) nf.add_packet(1000 + static_cast<std::uint64_t>(i), rng);
+    }
+    sum += nf.estimate(0);
+  }
+  // Renormalisation is unbiased, so the elephant's mean estimate holds.
+  EXPECT_NEAR(sum / runs, truth, truth * 0.1);
+}
+
+TEST(AdaptiveNetFlow, SubsampleIsUnbiasedAtBothCodePaths) {
+  util::Rng rng(4);
+  // Small-count exact path and large-count Gaussian path must both be
+  // mean-preserving under factor 0.5.
+  for (std::uint64_t count : {40ull, 10000ull}) {
+    double sum = 0.0;
+    const int runs = 4000;
+    AdaptiveNetFlow::Config config;
+    config.max_entries = 2;
+    for (int r = 0; r < runs; ++r) {
+      AdaptiveNetFlow nf(config);
+      for (std::uint64_t i = 0; i < count; ++i) nf.add_packet(1, rng);
+      // Force one renormalisation by inserting two new flows.
+      nf.add_packet(2, rng);
+      nf.add_packet(3, rng);
+      nf.add_packet(4, rng);
+      sum += nf.estimate(1);
+    }
+    EXPECT_NEAR(sum / runs, static_cast<double>(count),
+                static_cast<double>(count) * 0.05)
+        << "count=" << count;
+  }
+}
+
+}  // namespace
+}  // namespace disco::counters

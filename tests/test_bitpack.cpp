@@ -1,0 +1,111 @@
+// Unit tests for bit-packed counter storage.
+#include "util/bitpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace disco::util {
+namespace {
+
+TEST(BitPackedArray, RejectsBadWidth) {
+  EXPECT_THROW(BitPackedArray(8, 0), std::invalid_argument);
+  EXPECT_THROW(BitPackedArray(8, 65), std::invalid_argument);
+}
+
+TEST(BitPackedArray, InitiallyZero) {
+  BitPackedArray a(100, 10);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.get(i), 0u);
+}
+
+TEST(BitPackedArray, MaxValueMatchesWidth) {
+  EXPECT_EQ(BitPackedArray(1, 1).max_value(), 1u);
+  EXPECT_EQ(BitPackedArray(1, 8).max_value(), 255u);
+  EXPECT_EQ(BitPackedArray(1, 10).max_value(), 1023u);
+  EXPECT_EQ(BitPackedArray(1, 64).max_value(), ~std::uint64_t{0});
+}
+
+TEST(BitPackedArray, StorageBitsIsExact) {
+  BitPackedArray a(1000, 9);
+  EXPECT_EQ(a.storage_bits(), 9000u);
+}
+
+TEST(BitPackedArray, SetGetRoundTripsAcrossWordBoundaries) {
+  // Width 9 guarantees values straddling 64-bit word boundaries.
+  BitPackedArray a(200, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.set(i, (i * 37) & a.max_value());
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.get(i), (i * 37) & a.max_value()) << "i=" << i;
+  }
+}
+
+TEST(BitPackedArray, NeighboursDoNotInterfere) {
+  BitPackedArray a(64, 13);
+  a.set(10, a.max_value());
+  a.set(11, 0);
+  a.set(12, a.max_value());
+  EXPECT_EQ(a.get(10), a.max_value());
+  EXPECT_EQ(a.get(11), 0u);
+  EXPECT_EQ(a.get(12), a.max_value());
+  a.set(11, 0x1555);
+  EXPECT_EQ(a.get(10), a.max_value());
+  EXPECT_EQ(a.get(12), a.max_value());
+}
+
+TEST(BitPackedArray, TryAddDetectsOverflow) {
+  BitPackedArray a(4, 8);
+  EXPECT_TRUE(a.try_add(0, 200));
+  EXPECT_TRUE(a.try_add(0, 55));
+  EXPECT_EQ(a.get(0), 255u);
+  EXPECT_FALSE(a.try_add(0, 1));
+  EXPECT_EQ(a.get(0), 255u);  // saturated, not wrapped
+}
+
+TEST(BitPackedArray, TryAddLargeDeltaSaturates) {
+  BitPackedArray a(4, 8);
+  EXPECT_FALSE(a.try_add(1, 1000));
+  EXPECT_EQ(a.get(1), 255u);
+}
+
+TEST(BitPackedArray, FillZeroResets) {
+  BitPackedArray a(32, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) a.set(i, 100);
+  a.fill_zero();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.get(i), 0u);
+}
+
+TEST(BitPackedArray, Width64Works) {
+  BitPackedArray a(10, 64);
+  a.set(3, 0x0123456789abcdefULL);
+  a.set(4, ~std::uint64_t{0});
+  EXPECT_EQ(a.get(3), 0x0123456789abcdefULL);
+  EXPECT_EQ(a.get(4), ~std::uint64_t{0});
+}
+
+class BitPackWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackWidthTest, RandomizedRoundTrip) {
+  const int width = GetParam();
+  BitPackedArray a(257, width);  // prime-ish size to mix offsets
+  Rng rng(static_cast<std::uint64_t>(width) * 1000003);
+  std::vector<std::uint64_t> shadow(a.size());
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::uint64_t v = rng.next() & a.max_value();
+      a.set(i, v);
+      shadow[i] = v;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a.get(i), shadow[i]) << "width=" << width << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 9, 12, 13, 16, 21,
+                                           31, 32, 33, 48, 63, 64));
+
+}  // namespace
+}  // namespace disco::util

@@ -1,0 +1,176 @@
+// Unit tests for the fixed-point (Log&Exp table) DISCO implementation path.
+#include "core/disco_fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/disco.hpp"
+#include "util/math.hpp"
+
+namespace disco::core {
+namespace {
+
+util::LogExpTable make_table(double b) { return util::LogExpTable(b); }
+
+TEST(FixedPointDisco, DecisionInvariants) {
+  const auto table = make_table(1.004);
+  FixedPointDisco logic(table);
+  for (std::uint64_t c : {0ull, 1ull, 50ull, 700ull, 2500ull}) {
+    for (std::uint64_t l : {1ull, 40ull, 1500ull, 100000ull}) {
+      const FixedUpdateDecision d = logic.decide(c, l);
+      ASSERT_GT(d.denominator, 0u) << "c=" << c << " l=" << l;
+      ASSERT_LE(d.numerator, d.denominator) << "c=" << c << " l=" << l;
+      // The landing interval must bracket the target.
+      const std::uint64_t j = c + d.delta + 1;
+      ASSERT_GE(table.f(j), table.f(c) + l);
+      ASSERT_LT(table.f(j - 1), table.f(c) + l);
+    }
+  }
+}
+
+TEST(FixedPointDisco, ExactIntegerExpectationPerUpdate) {
+  // E[ftilde(c')] - ftilde(c) == l exactly -- quantisation costs variance,
+  // never bias (see header).  Verified from the integer decision directly.
+  const auto table = make_table(1.002);
+  FixedPointDisco logic(table);
+  for (std::uint64_t c : {0ull, 10ull, 321ull, 1500ull}) {
+    for (std::uint64_t l : {1ull, 81ull, 1420ull, 65536ull}) {
+      const FixedUpdateDecision d = logic.decide(c, l);
+      const std::uint64_t j = c + d.delta + 1;
+      const std::uint64_t f_lo = table.f(j - 1);
+      const std::uint64_t f_hi = table.f(j);
+      // Expected new f value, in exact rational arithmetic:
+      //   f_lo + num/den * (f_hi - f_lo)   with den == f_hi - f_lo
+      // => f_lo + num == ftilde(c) + l.
+      EXPECT_EQ(f_hi - f_lo, d.denominator);
+      EXPECT_EQ(f_lo + d.numerator, table.f(c) + l) << "c=" << c << " l=" << l;
+    }
+  }
+}
+
+TEST(FixedPointDisco, UpdateMonotoneNonDecreasing) {
+  const auto table = make_table(1.01);
+  FixedPointDisco logic(table);
+  util::Rng rng(3);
+  std::uint64_t c = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t next = logic.update(c, 1 + (i * 7) % 1500, rng);
+    ASSERT_GE(next, c);
+    c = next;
+  }
+}
+
+TEST(FixedPointDisco, ZeroLengthIsNoOp) {
+  const auto table = make_table(1.01);
+  FixedPointDisco logic(table);
+  util::Rng rng(3);
+  EXPECT_EQ(logic.update(17, 0, rng), 17u);
+}
+
+TEST(FixedPointDisco, UnbiasedOverManyRuns) {
+  const auto table = make_table(1.02);
+  FixedPointDisco logic(table);
+  const std::vector<std::uint64_t> lens = {81, 1420, 142, 691};
+  const double truth = 2334.0;
+  util::Rng rng(13);
+  const int runs = 5000;
+  double sum = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    std::uint64_t c = 0;
+    for (auto l : lens) c = logic.update(c, l, rng);
+    sum += logic.estimate(c);
+  }
+  EXPECT_NEAR(sum / runs, truth, truth * 0.4 / std::sqrt(runs) * 4.0);
+}
+
+TEST(FixedPointDisco, AgreesWithDoublePathOnAverage) {
+  // Same b, same workload: the two math paths must estimate the same truth
+  // within Monte-Carlo noise.  This pins the NP implementation to the
+  // reference implementation like the paper's exact checking element does.
+  const double b = 1.01;
+  const auto table = make_table(b);
+  FixedPointDisco fixed(table);
+  DiscoParams ref(b);
+
+  util::Rng rng_fixed(101);
+  util::Rng rng_ref(202);
+  const int runs = 3000;
+  double sum_fixed = 0.0;
+  double sum_ref = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    std::uint64_t cf = 0;
+    std::uint64_t cr = 0;
+    for (std::uint64_t l : {300ull, 64ull, 1500ull, 977ull}) {
+      cf = fixed.update(cf, l, rng_fixed);
+      cr = ref.update(cr, l, rng_ref);
+    }
+    sum_fixed += fixed.estimate(cf);
+    sum_ref += ref.estimate(cr);
+  }
+  const double mean_fixed = sum_fixed / runs;
+  const double mean_ref = sum_ref / runs;
+  EXPECT_NEAR(mean_fixed, mean_ref, mean_ref * 0.02);
+}
+
+TEST(FixedPointDiscoArray, IndependentSlotsAndOverflowAccounting) {
+  const auto table = make_table(1.02);
+  FixedPointDiscoArray array(4, 10, table);
+  util::Rng rng(31);
+  for (int i = 0; i < 50; ++i) array.add(1, 1000, rng);
+  EXPECT_EQ(array.value(0), 0u);
+  EXPECT_GT(array.value(1), 0u);
+  EXPECT_EQ(array.overflow_count(), 0u);
+  EXPECT_EQ(array.storage_bits(), 40u);
+  EXPECT_NEAR(array.estimate(1), 50000.0, 50000.0 * 0.5);
+}
+
+TEST(FixedPointDiscoArray, SaturatesAndCountsOverflow) {
+  const auto table = make_table(1.0005);  // slow growth: tiny capacity in 4 bits
+  FixedPointDiscoArray array(1, 4, table);
+  util::Rng rng(37);
+  for (int i = 0; i < 200; ++i) array.add(0, 1500, rng);
+  EXPECT_GT(array.overflow_count(), 0u);
+  EXPECT_EQ(array.value(0), 15u);
+}
+
+class FixedVsDoubleBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedVsDoubleBits, FixedPathErrorComparableAcrossBudgets) {
+  // For each counter budget, run a modest workload and require the
+  // fixed-point estimate to stay within a small factor of the double-path
+  // accuracy -- table quantisation must not dominate estimation error.
+  const int bits = GetParam();
+  const std::uint64_t max_flow = 1 << 22;
+  const double b = util::choose_b(max_flow, bits);
+  const auto table = make_table(b);
+  FixedPointDisco fixed(table);
+  DiscoParams ref(b);
+
+  util::Rng rng(bits * 1000u + 7u);
+  const std::uint64_t truth = 500000;
+  double err_fixed = 0.0;
+  double err_ref = 0.0;
+  const int runs = 60;
+  for (int r = 0; r < runs; ++r) {
+    std::uint64_t cf = 0;
+    std::uint64_t cr = 0;
+    std::uint64_t sent = 0;
+    while (sent < truth) {
+      const std::uint64_t l = 500;
+      cf = fixed.update(cf, l, rng);
+      cr = ref.update(cr, l, rng);
+      sent += l;
+    }
+    err_fixed += util::relative_error(fixed.estimate(cf), static_cast<double>(sent));
+    err_ref += util::relative_error(ref.estimate(cr), static_cast<double>(sent));
+  }
+  err_fixed /= runs;
+  err_ref /= runs;
+  EXPECT_LT(err_fixed, err_ref * 2.0 + 0.01) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, FixedVsDoubleBits, ::testing::Values(8, 9, 10, 12));
+
+}  // namespace
+}  // namespace disco::core

@@ -1,0 +1,154 @@
+// Unit tests for the traffic distributions.
+#include "trace/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/histogram.hpp"
+
+namespace disco::trace {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(ParetoCount, RejectsBadParameters) {
+  EXPECT_THROW(ParetoCount(0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(ParetoCount(1.1, 0.5), std::invalid_argument);
+}
+
+TEST(ParetoCount, SamplesAtLeastScale) {
+  ParetoCount dist(1.053, 4.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(dist.sample(rng), 4u);
+}
+
+TEST(ParetoCount, TailFollowsPowerLaw) {
+  // Samples are floored to integers, so P(sample > 8) = P(X >= 9) =
+  // (scale/9)^shape for the continuous Pareto X.
+  const double shape = 1.5;
+  ParetoCount dist(shape, 4.0);
+  util::Rng rng(2);
+  int above = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.sample(rng) > 8) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kSamples, std::pow(4.0 / 9.0, shape),
+              0.01);
+}
+
+TEST(ParetoCount, CapTruncatesTail) {
+  ParetoCount dist(1.05, 4.0, 100);
+  util::Rng rng(3);
+  for (int i = 0; i < 50000; ++i) ASSERT_LE(dist.sample(rng), 100u);
+}
+
+TEST(ExponentialCount, MeanMatches) {
+  ExponentialCount dist(800.0);
+  util::Rng rng(4);
+  util::StreamingStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(static_cast<double>(dist.sample(rng)));
+  // Integer floor costs ~0.5; the min-floor at 1 adds a hair.
+  EXPECT_NEAR(s.mean(), 800.0, 8.0);
+}
+
+TEST(ExponentialCount, RespectsMinimum) {
+  ExponentialCount dist(2.0, 5);
+  util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(dist.sample(rng), 5u);
+}
+
+TEST(UniformCount, RangeAndMean) {
+  UniformCount dist(2, 1600);
+  util::Rng rng(6);
+  util::StreamingStats s;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t v = dist.sample(rng);
+    ASSERT_GE(v, 2u);
+    ASSERT_LE(v, 1600u);
+    s.add(static_cast<double>(v));
+  }
+  EXPECT_NEAR(s.mean(), 801.0, 5.0);  // paper Scenario 3: observed ~772-801
+}
+
+TEST(TruncatedExponentialLength, StaysInBounds) {
+  TruncatedExponentialLength dist(100.0, 40, 1500);
+  util::Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint32_t l = dist.sample(rng);
+    ASSERT_GE(l, 40u);
+    ASSERT_LE(l, 1500u);
+  }
+}
+
+TEST(TruncatedExponentialLength, ClippedMeanNearPaperScenarios) {
+  // The paper's scenarios report ~106 B mean packet length; clipping an
+  // Exp(100) into [40, 1500] lands close to that.
+  TruncatedExponentialLength dist(100.0, 40, 1500);
+  util::Rng rng(8);
+  util::StreamingStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(static_cast<double>(dist.sample(rng)));
+  EXPECT_GT(s.mean(), 100.0);
+  EXPECT_LT(s.mean(), 125.0);
+}
+
+TEST(UniformLength, RangeIsInclusive) {
+  UniformLength dist(64, 1024);
+  util::Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t l = dist.sample(rng);
+    ASSERT_GE(l, 64u);
+    ASSERT_LE(l, 1024u);
+    saw_lo |= (l == 64);
+    saw_hi |= (l == 1024);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(ConstantLength, AlwaysSame) {
+  ConstantLength dist(1);
+  util::Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 1u);
+}
+
+TEST(BimodalLength, RejectsInconsistentConfig) {
+  BimodalLength::Config bad;
+  bad.small_weight = 0.8;
+  bad.full_weight = 0.4;  // weights > 1
+  EXPECT_THROW(BimodalLength{bad}, std::invalid_argument);
+  bad = {};
+  bad.mtu = 50;  // below small_hi
+  EXPECT_THROW(BimodalLength{bad}, std::invalid_argument);
+}
+
+TEST(BimodalLength, ModesHaveConfiguredMass) {
+  BimodalLength dist;  // defaults: 50% small, 28% MTU
+  util::Rng rng(11);
+  int small = 0;
+  int mtu = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint32_t l = dist.sample(rng);
+    ASSERT_GE(l, 40u);
+    ASSERT_LE(l, 1500u);
+    if (l <= 64) ++small;
+    if (l == 1500) ++mtu;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / kSamples, 0.50, 0.01);
+  EXPECT_NEAR(static_cast<double>(mtu) / kSamples, 0.28, 0.01);
+}
+
+TEST(BimodalLength, MeanNearRealTraceTarget) {
+  // DESIGN.md: mean ~620 B so the real-trace stand-in's mean flow volume
+  // lands near the paper's 409.5 KB.
+  BimodalLength dist;
+  util::Rng rng(12);
+  util::StreamingStats s;
+  for (int i = 0; i < kSamples; ++i) s.add(static_cast<double>(dist.sample(rng)));
+  EXPECT_NEAR(s.mean(), 620.0, 25.0);
+}
+
+}  // namespace
+}  // namespace disco::trace

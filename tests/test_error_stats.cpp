@@ -1,0 +1,73 @@
+// Unit tests for the relative-error metrics (paper Section V-A definitions).
+#include "stats/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace disco::stats {
+namespace {
+
+TEST(RelativeErrorReport, SizeMismatchThrows) {
+  EXPECT_THROW((void)relative_error_report({1.0}, {}), std::invalid_argument);
+}
+
+TEST(RelativeErrorReport, EmptyInputsYieldZeroes) {
+  const ErrorReport r = relative_error_report({}, {});
+  EXPECT_DOUBLE_EQ(r.average, 0.0);
+  EXPECT_DOUBLE_EQ(r.maximum, 0.0);
+  EXPECT_TRUE(r.samples.empty());
+}
+
+TEST(RelativeErrorReport, KnownValues) {
+  // R = |n_hat - n| / n per flow.
+  const std::vector<double> estimates = {110.0, 90.0, 100.0, 400.0};
+  const std::vector<std::uint64_t> truths = {100, 100, 100, 200};
+  const ErrorReport r = relative_error_report(estimates, truths);
+  ASSERT_EQ(r.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.maximum, 1.0);                       // |400-200|/200
+  EXPECT_DOUBLE_EQ(r.average, (0.1 + 0.1 + 0.0 + 1.0) / 4.0);
+}
+
+TEST(RelativeErrorReport, SkipsZeroTruthFlows) {
+  const std::vector<double> estimates = {5.0, 100.0};
+  const std::vector<std::uint64_t> truths = {0, 100};
+  const ErrorReport r = relative_error_report(estimates, truths);
+  EXPECT_EQ(r.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.average, 0.0);
+}
+
+TEST(RelativeErrorReport, OptimisticQuantileDefinition) {
+  // 100 flows: 95 with error 0.01, 5 with error 0.5.  R_o(0.95) must sit at
+  // the boundary between the populations (~0.01), not at the max.
+  std::vector<double> estimates;
+  std::vector<std::uint64_t> truths;
+  for (int i = 0; i < 95; ++i) {
+    estimates.push_back(101.0);
+    truths.push_back(100);
+  }
+  for (int i = 0; i < 5; ++i) {
+    estimates.push_back(150.0);
+    truths.push_back(100);
+  }
+  const ErrorReport r = relative_error_report(estimates, truths);
+  EXPECT_LT(r.optimistic95, 0.2);
+  EXPECT_GE(r.optimistic95, 0.01 - 1e-12);
+  EXPECT_DOUBLE_EQ(r.maximum, 0.5);
+  // alpha = 1 recovers the maximum.
+  EXPECT_DOUBLE_EQ(r.optimistic(1.0), 0.5);
+}
+
+TEST(RelativeErrorReport, AverageBelowMaxAboveZeroOnNoisyData) {
+  std::vector<double> estimates;
+  std::vector<std::uint64_t> truths;
+  for (int i = 1; i <= 50; ++i) {
+    truths.push_back(1000);
+    estimates.push_back(1000.0 + (i % 7) * 10.0);
+  }
+  const ErrorReport r = relative_error_report(estimates, truths);
+  EXPECT_GT(r.average, 0.0);
+  EXPECT_LE(r.average, r.maximum);
+  EXPECT_LE(r.optimistic95, r.maximum);
+}
+
+}  // namespace
+}  // namespace disco::stats

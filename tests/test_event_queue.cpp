@@ -1,0 +1,109 @@
+// Unit tests for the discrete-event core and the pipelined-resource model.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace disco::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMaySpawnEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) q.schedule_in(5, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunLimitStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(q.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+TEST(EventQueue, RunUntilExecutesStrictlyBefore) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] { order.push_back(10); });
+  q.schedule_at(20, [&] { order.push_back(20); });
+  q.schedule_at(30, [&] { order.push_back(30); });
+  q.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{10}));
+  EXPECT_EQ(q.now(), 20u);
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PipelinedResource, BackToBackReservationsSpaceByIssueInterval) {
+  PipelinedResource r(10, 100);
+  EXPECT_EQ(r.reserve(0), 100u);   // starts at 0, completes at 100
+  EXPECT_EQ(r.reserve(0), 110u);   // starts at 10
+  EXPECT_EQ(r.reserve(0), 120u);   // starts at 20
+  EXPECT_EQ(r.next_free(), 30u);
+}
+
+TEST(PipelinedResource, IdleResourceStartsImmediately) {
+  PipelinedResource r(10, 100);
+  (void)r.reserve(0);
+  EXPECT_EQ(r.reserve(1000), 1100u);  // no queueing after a gap
+}
+
+TEST(PipelinedResource, BusyTimeAccumulatesIssueSlots) {
+  PipelinedResource r(7, 50);
+  for (int i = 0; i < 10; ++i) (void)r.reserve(0);
+  EXPECT_EQ(r.busy_time(), 70u);
+}
+
+TEST(PipelinedResource, ModelsPaperSramRoundTrip) {
+  // One write + one read at 93 ns latency each ~ the paper's 186 ns figure.
+  PipelinedResource sram(45, 93);
+  const SimTime write_done = sram.reserve(0);
+  const SimTime read_done = sram.reserve(write_done);
+  EXPECT_EQ(read_done, 93u + 93u);
+}
+
+}  // namespace
+}  // namespace disco::sim

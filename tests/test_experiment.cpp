@@ -1,0 +1,111 @@
+// Tests for the accuracy-experiment harness.
+#include "stats/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace disco::stats {
+namespace {
+
+std::vector<trace::FlowRecord> small_trace() {
+  util::Rng rng(11);
+  return trace::scenario1().make_flows(150, rng);
+}
+
+TEST(MaxFlowLength, VolumeAndSizeViews) {
+  const auto flows = small_trace();
+  std::uint64_t max_bytes = 0;
+  std::uint64_t max_packets = 0;
+  for (const auto& f : flows) {
+    max_bytes = std::max(max_bytes, f.bytes());
+    max_packets = std::max(max_packets, f.packets());
+  }
+  EXPECT_EQ(max_flow_length(flows, CountingMode::kVolume), max_bytes);
+  EXPECT_EQ(max_flow_length(flows, CountingMode::kSize), max_packets);
+}
+
+TEST(RunAccuracy, ExactMethodHasZeroError) {
+  const auto flows = small_trace();
+  const auto method = make_method("exact");
+  const AccuracyResult r =
+      run_accuracy(*method, flows, CountingMode::kVolume, 10, 1);
+  EXPECT_DOUBLE_EQ(r.errors.average, 0.0);
+  EXPECT_DOUBLE_EQ(r.errors.maximum, 0.0);
+}
+
+TEST(RunAccuracy, TruthsMatchTrace) {
+  const auto flows = small_trace();
+  const auto method = make_method("exact");
+  const AccuracyResult r =
+      run_accuracy(*method, flows, CountingMode::kVolume, 10, 1);
+  ASSERT_EQ(r.truths.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(r.truths[i], flows[i].bytes());
+  }
+  const AccuracyResult rs =
+      run_accuracy(*method, flows, CountingMode::kSize, 10, 1);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(rs.truths[i], flows[i].packets());
+  }
+}
+
+TEST(RunAccuracy, DiscoVolumeErrorsAreModest) {
+  const auto flows = small_trace();
+  const auto method = make_method("DISCO");
+  const AccuracyResult r =
+      run_accuracy(*method, flows, CountingMode::kVolume, 10, 2);
+  EXPECT_GT(r.errors.average, 0.0);
+  EXPECT_LT(r.errors.average, 0.2);
+  EXPECT_LE(r.max_counter_bits, 10);
+  EXPECT_EQ(r.method, "DISCO");
+  EXPECT_EQ(r.bits, 10);
+}
+
+TEST(RunAccuracy, DeterministicUnderSeed) {
+  const auto flows = small_trace();
+  const auto m1 = make_method("DISCO");
+  const auto m2 = make_method("DISCO");
+  const auto r1 = run_accuracy(*m1, flows, CountingMode::kVolume, 10, 42);
+  const auto r2 = run_accuracy(*m2, flows, CountingMode::kVolume, 10, 42);
+  EXPECT_EQ(r1.estimates, r2.estimates);
+  const auto r3 = run_accuracy(*m2, flows, CountingMode::kVolume, 10, 43);
+  EXPECT_NE(r1.estimates, r3.estimates);
+}
+
+TEST(RunAccuracy, MoreBitsReduceDiscoError) {
+  // The headline trend of Figs. 5-7: error falls as counter size grows.
+  const auto flows = small_trace();
+  double prev = 1e9;
+  for (int bits : {8, 10, 12}) {
+    const auto method = make_method("DISCO");
+    const auto r = run_accuracy(*method, flows, CountingMode::kVolume, bits, 3);
+    EXPECT_LT(r.errors.average, prev) << "bits=" << bits;
+    prev = r.errors.average;
+  }
+}
+
+TEST(RunAccuracy, DiscoBeatsSacAtEqualBits) {
+  // The paper's headline comparison, on a small population.
+  const auto flows = small_trace();
+  const auto disco = make_method("DISCO");
+  const auto sac = make_method("SAC");
+  const auto rd = run_accuracy(*disco, flows, CountingMode::kVolume, 10, 4);
+  const auto rs = run_accuracy(*sac, flows, CountingMode::kVolume, 10, 4);
+  EXPECT_LT(rd.errors.average, rs.errors.average);
+}
+
+TEST(RunAccuracy, SizeModeMatchesPacketCounts) {
+  const auto flows = small_trace();
+  const auto method = make_method("DISCO");
+  const auto r = run_accuracy(*method, flows, CountingMode::kSize, 12, 5);
+  EXPECT_LT(r.errors.average, 0.15);
+}
+
+TEST(ToString, Modes) {
+  EXPECT_STREQ(to_string(CountingMode::kVolume), "volume");
+  EXPECT_STREQ(to_string(CountingMode::kSize), "size");
+}
+
+}  // namespace
+}  // namespace disco::stats

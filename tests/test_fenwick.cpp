@@ -1,0 +1,106 @@
+// Unit tests for the Fenwick tree used by the traffic interleaver.
+#include "util/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace disco::util {
+namespace {
+
+TEST(FenwickTree, InitiallyEmpty) {
+  FenwickTree t(8);
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.prefix_sum(8), 0u);
+}
+
+TEST(FenwickTree, SetAndPrefixSums) {
+  FenwickTree t(5);
+  t.set(0, 3);
+  t.set(2, 7);
+  t.set(4, 1);
+  EXPECT_EQ(t.total(), 11u);
+  EXPECT_EQ(t.prefix_sum(0), 0u);
+  EXPECT_EQ(t.prefix_sum(1), 3u);
+  EXPECT_EQ(t.prefix_sum(3), 10u);
+  EXPECT_EQ(t.prefix_sum(5), 11u);
+}
+
+TEST(FenwickTree, OverwriteAndAdd) {
+  FenwickTree t(3);
+  t.set(1, 10);
+  t.set(1, 4);
+  EXPECT_EQ(t.total(), 4u);
+  t.add(1, -3);
+  EXPECT_EQ(t.value(1), 1u);
+  EXPECT_EQ(t.total(), 1u);
+}
+
+TEST(FenwickTree, SampleHitsCorrectBuckets) {
+  FenwickTree t(4);
+  t.set(0, 2);  // targets 0,1
+  t.set(1, 0);  // never
+  t.set(2, 3);  // targets 2,3,4
+  t.set(3, 1);  // target 5
+  EXPECT_EQ(t.sample(0), 0u);
+  EXPECT_EQ(t.sample(1), 0u);
+  EXPECT_EQ(t.sample(2), 2u);
+  EXPECT_EQ(t.sample(4), 2u);
+  EXPECT_EQ(t.sample(5), 3u);
+}
+
+TEST(FenwickTree, SampleNeverReturnsZeroWeight) {
+  FenwickTree t(100);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 100; i += 2) t.set(i, rng.uniform_u64(1, 10));
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::size_t i = t.sample(rng.uniform_u64(0, t.total() - 1));
+    ASSERT_GT(t.value(i), 0u);
+    ASSERT_EQ(i % 2, 0u);
+  }
+}
+
+TEST(FenwickTree, SampleFrequenciesMatchWeights) {
+  FenwickTree t(3);
+  t.set(0, 1);
+  t.set(1, 2);
+  t.set(2, 7);
+  Rng rng(5);
+  std::vector<int> hits(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++hits[t.sample(rng.uniform_u64(0, t.total() - 1))];
+  }
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(FenwickTree, RandomizedAgainstLinearScan) {
+  const std::size_t n = 37;  // non power of two
+  FenwickTree t(n);
+  std::vector<std::uint64_t> shadow(n, 0);
+  Rng rng(7);
+  for (int op = 0; op < 20000; ++op) {
+    const std::size_t i = rng.uniform_u64(0, n - 1);
+    const std::uint64_t w = rng.uniform_u64(0, 50);
+    t.set(i, w);
+    shadow[i] = w;
+    const std::size_t q = rng.uniform_u64(0, n);
+    std::uint64_t want = 0;
+    for (std::size_t j = 0; j < q; ++j) want += shadow[j];
+    ASSERT_EQ(t.prefix_sum(q), want) << "op=" << op;
+    if (t.total() > 0) {
+      const std::uint64_t target = rng.uniform_u64(0, t.total() - 1);
+      const std::size_t idx = t.sample(target);
+      // Definition check: prefix_sum(idx) <= target < prefix_sum(idx+1).
+      ASSERT_LE(t.prefix_sum(idx), target);
+      ASSERT_GT(t.prefix_sum(idx + 1), target);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace disco::util

@@ -1,0 +1,94 @@
+// Tests for the generic flow table instantiated with IPv6 keys.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "flowtable/flow_table.hpp"
+#include "util/rng.hpp"
+
+namespace disco::flowtable {
+namespace {
+
+FiveTupleV6 tuple6(std::uint32_t i) {
+  FiveTupleV6 t;
+  // 2001:db8::/32 documentation prefix with the id scattered through the
+  // interface identifier.
+  t.src_ip = {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0,
+              0, 0, 0, 0,
+              static_cast<std::uint8_t>(i >> 24), static_cast<std::uint8_t>(i >> 16),
+              static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i)};
+  t.dst_ip = {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0x53};
+  t.src_port = static_cast<std::uint16_t>(1024 + i % 50000);
+  t.dst_port = 443;
+  t.protocol = 6;
+  return t;
+}
+
+TEST(FiveTupleV6, EqualityAndHashSensitivity) {
+  const FiveTupleV6 a = tuple6(7);
+  FiveTupleV6 b = tuple6(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(hash_tuple(a), hash_tuple(b));
+  b.src_ip[15] ^= 1;  // single-bit address change
+  EXPECT_NE(a, b);
+  EXPECT_NE(hash_tuple(a), hash_tuple(b));
+  b = tuple6(7);
+  b.dst_port = 80;
+  EXPECT_NE(hash_tuple(a), hash_tuple(b));
+}
+
+TEST(FlowTableV6, InsertFindEraseLifecycle) {
+  FlowTableV6 table(128);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto slot = table.insert_or_get(tuple6(i));
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_EQ(*slot, i);
+  }
+  EXPECT_TRUE(table.find(tuple6(42)).has_value());
+  EXPECT_TRUE(table.erase(tuple6(42)).has_value());
+  EXPECT_FALSE(table.find(tuple6(42)).has_value());
+  EXPECT_EQ(table.size(), 99u);
+}
+
+TEST(FlowTableV6, RandomizedChurnAgainstUnorderedMap) {
+  FlowTableV6 table(200);
+  std::unordered_map<FiveTupleV6, std::uint32_t> shadow;
+  util::Rng rng(9);
+  for (int op = 0; op < 20000; ++op) {
+    const auto key = tuple6(static_cast<std::uint32_t>(rng.uniform_u64(0, 400)));
+    if (rng.bernoulli(0.6)) {
+      const auto slot = table.insert_or_get(key);
+      const auto it = shadow.find(key);
+      if (it != shadow.end()) {
+        ASSERT_TRUE(slot.has_value());
+        ASSERT_EQ(*slot, it->second);
+      } else if (shadow.size() < 200) {
+        ASSERT_TRUE(slot.has_value());
+        shadow.emplace(key, *slot);
+      } else {
+        ASSERT_FALSE(slot.has_value());
+      }
+    } else {
+      ASSERT_EQ(table.erase(key).has_value(), shadow.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(table.size(), shadow.size());
+}
+
+TEST(FlowTableV6, StorageAccountsWiderKeys) {
+  FlowTableV6 v6(100);
+  BasicFlowTable<FiveTuple> v4(100);
+  // IPv6 keys are ~3x the IPv4 key size; the bucket bill must reflect it.
+  EXPECT_GT(v6.storage_bits(), 2 * v4.storage_bits());
+}
+
+TEST(FlowTableV6, ProbeLengthStaysShort) {
+  FlowTableV6 table(4096, 0.75);
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(table.insert_or_get(tuple6(i)).has_value());
+  }
+  EXPECT_LT(table.mean_probe_length(), 4.0);
+}
+
+}  // namespace
+}  // namespace disco::flowtable

@@ -1,0 +1,128 @@
+// Unit tests for streaming stats and sample sets.
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace disco::util {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // unbiased (n-1)
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, CoefficientOfVariation) {
+  StreamingStats s;
+  for (double x : {10.0, 10.0, 10.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.coefficient_of_variation(), 0.0);
+  StreamingStats t;
+  t.add(0.0);
+  t.add(20.0);
+  // mean 10, sample stddev sqrt(200); cv = sqrt(200)/10.
+  EXPECT_NEAR(t.coefficient_of_variation(), std::sqrt(200.0) / 10.0, 1e-12);
+}
+
+TEST(StreamingStats, AgreesWithBatchOnRandomData) {
+  Rng rng(5);
+  StreamingStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double(-5.0, 17.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(SampleSet, QuantileEdgeCases) {
+  SampleSet s;
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
+  EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SampleSet, QuantilesOfUniformGrid) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(SampleSet, CdfMatchesDefinition) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfCurveIsMonotone) {
+  SampleSet s;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) s.add(rng.next_double());
+  const auto curve = s.cdf_curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(SampleSet, AddAfterQuantileInvalidatesCache) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 2.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);  // must see the new sample
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+}  // namespace
+}  // namespace disco::util

@@ -1,0 +1,82 @@
+// Unit tests for the indexed max-heap behind the SD architecture's LCF CMA.
+#include "util/indexed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace disco::util {
+namespace {
+
+TEST(IndexedMaxHeap, InitiallyAllZero) {
+  IndexedMaxHeap h(5);
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_EQ(h.top_priority(), 0u);
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_EQ(h.priority(k), 0u);
+}
+
+TEST(IndexedMaxHeap, TopTracksMaximum) {
+  IndexedMaxHeap h(4);
+  h.set(2, 10);
+  EXPECT_EQ(h.top(), 2u);
+  h.set(0, 20);
+  EXPECT_EQ(h.top(), 0u);
+  h.set(0, 5);  // decrease: 2 should resurface
+  EXPECT_EQ(h.top(), 2u);
+  EXPECT_EQ(h.top_priority(), 10u);
+}
+
+TEST(IndexedMaxHeap, IncreaseAccumulates) {
+  IndexedMaxHeap h(3);
+  h.increase(1, 7);
+  h.increase(1, 3);
+  EXPECT_EQ(h.priority(1), 10u);
+  EXPECT_EQ(h.top(), 1u);
+}
+
+TEST(IndexedMaxHeap, SetSameValueIsStable) {
+  IndexedMaxHeap h(3);
+  h.set(0, 5);
+  h.set(0, 5);
+  EXPECT_EQ(h.top(), 0u);
+  EXPECT_EQ(h.priority(0), 5u);
+}
+
+TEST(IndexedMaxHeap, RandomizedAgainstLinearScan) {
+  const std::size_t n = 200;
+  IndexedMaxHeap h(n);
+  std::vector<std::uint64_t> shadow(n, 0);
+  Rng rng(77);
+  for (int op = 0; op < 20000; ++op) {
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
+    const std::uint64_t v = rng.uniform_u64(0, 1000);
+    h.set(k, v);
+    shadow[k] = v;
+    const std::uint64_t want =
+        *std::max_element(shadow.begin(), shadow.end());
+    ASSERT_EQ(h.top_priority(), want) << "op=" << op;
+    ASSERT_EQ(shadow[h.top()], want);
+  }
+}
+
+TEST(IndexedMaxHeap, SimulatesLcfDrainOrder) {
+  // SD usage pattern: increase priorities, repeatedly flush the top to zero;
+  // drain order must be non-increasing in the drained priority.
+  IndexedMaxHeap h(10);
+  Rng rng(81);
+  for (std::size_t k = 0; k < 10; ++k) h.set(k, rng.uniform_u64(1, 100));
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t p = h.top_priority();
+    EXPECT_LE(p, prev);
+    prev = p;
+    h.set(h.top(), 0);
+  }
+  EXPECT_EQ(h.top_priority(), 0u);
+}
+
+}  // namespace
+}  // namespace disco::util

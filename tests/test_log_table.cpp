@@ -1,0 +1,185 @@
+// Unit tests for the fixed-point Log&Exp lookup table.
+#include "util/log_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace disco::util {
+namespace {
+
+TEST(LogExpTable, RejectsBadConfig) {
+  LogExpTable::Config config;
+  config.entries = 1;
+  EXPECT_THROW(LogExpTable{config}, std::invalid_argument);
+  config = {};
+  config.pow_mantissa_bits = 2;
+  EXPECT_THROW(LogExpTable{config}, std::invalid_argument);
+  config = {};
+  config.b = 1.0;
+  EXPECT_THROW(LogExpTable{config}, std::invalid_argument);
+}
+
+TEST(LogExpTable, DefaultConfigMatchesPaperBudget) {
+  // 3 K entries x 32-bit packed fields = 96 Kb of table proper.
+  LogExpTable table(1.002);
+  const std::size_t packed_bits = 3072u * 32u;
+  EXPECT_EQ(packed_bits, 96u * 1024u);
+  EXPECT_GE(table.storage_bits(), packed_bits);
+  // Side shift bytes are small relative to the table.
+  EXPECT_LE(table.storage_bits(), packed_bits * 2);
+}
+
+TEST(LogExpTable, AnchorsExact) {
+  LogExpTable table(1.002);
+  EXPECT_EQ(table.f(0), 0u);
+  EXPECT_EQ(table.f(1), 1u);  // f(1) = 1 for every base
+}
+
+TEST(LogExpTable, QuantisedFTracksReal) {
+  const double b = 1.002;
+  LogExpTable table(b);
+  GeometricScale scale(b);
+  for (std::uint64_t c = 1; c < 3072; c += 13) {
+    const double real = scale.f(static_cast<double>(c));
+    const double quant = static_cast<double>(table.f(c));
+    // 20-bit mantissa: relative error under ~2^-19 plus integer rounding.
+    EXPECT_NEAR(quant, real, std::max(1.0, real * 4e-6)) << "c=" << c;
+  }
+}
+
+TEST(LogExpTable, FStrictlyIncreasing) {
+  for (double b : {1.0005, 1.002, 1.02}) {
+    LogExpTable table(b);
+    std::uint64_t prev = table.f(0);
+    for (std::uint64_t c = 1; c < 3500; ++c) {  // crosses the table boundary
+      const std::uint64_t cur = table.f(c);
+      ASSERT_GT(cur, prev) << "b=" << b << " c=" << c;
+      prev = cur;
+    }
+  }
+}
+
+TEST(LogExpTable, ShiftAndSumExtensionTracksReal) {
+  const double b = 1.002;
+  LogExpTable table(b);
+  GeometricScale scale(b);
+  for (std::uint64_t c : {3072ull, 3500ull, 4095ull, 6000ull}) {
+    const double real = scale.f(static_cast<double>(c));
+    const double quant = static_cast<double>(table.f(c));
+    // The extension multiplies by the 12-bit step mantissa of b^(entries-1),
+    // so its relative error is bounded by ~2^-11 per peeled chunk.
+    EXPECT_NEAR(quant, real, real * 1e-3) << "c=" << c;
+  }
+}
+
+TEST(LogExpTable, DeepShiftAndSumExtension) {
+  // c beyond 2x the table length peels multiple chunks; growth must stay
+  // monotone and within the compounding per-chunk mantissa error.
+  const double b = 1.002;
+  LogExpTable table(b);
+  GeometricScale scale(b);
+  std::uint64_t prev = 0;
+  for (std::uint64_t c = 6200; c <= 9300; c += 310) {  // 2-3 chunks deep
+    const std::uint64_t quant = table.f(c);
+    ASSERT_GT(quant, prev) << "c=" << c;
+    prev = quant;
+    const double real = scale.f(static_cast<double>(c));
+    EXPECT_NEAR(static_cast<double>(quant), real, real * 3e-3) << "c=" << c;
+  }
+}
+
+TEST(LogExpTable, StepTracksRealIncrement) {
+  const double b = 1.01;
+  LogExpTable table(b);
+  GeometricScale scale(b);
+  for (std::uint64_t c = 0; c < 3072; c += 97) {
+    const double real = scale.step(static_cast<double>(c));  // b^c
+    const double quant = static_cast<double>(table.step(c));
+    // 12-bit mantissa: ~2^-11 relative error plus rounding to >= 1.
+    EXPECT_NEAR(quant, real, std::max(1.0, real * 1e-3)) << "c=" << c;
+  }
+}
+
+TEST(LogExpTable, InverseAtLeastIsExactOnTableValues) {
+  LogExpTable table(1.002);
+  for (std::uint64_t j : {1ull, 2ull, 57ull, 400ull, 3000ull, 3400ull}) {
+    const std::uint64_t target = table.f(j);
+    // Smallest index whose f reaches f(j) is j itself (strict monotonicity).
+    EXPECT_EQ(table.inverse_at_least(target, 0), j) << "j=" << j;
+  }
+}
+
+TEST(LogExpTable, InverseAtLeastBracketsArbitraryTargets) {
+  LogExpTable table(1.004);
+  for (std::uint64_t target : {2ull, 100ull, 54321ull, 1000000ull}) {
+    const std::uint64_t j = table.inverse_at_least(target, 0);
+    ASSERT_GE(table.f(j), target);
+    ASSERT_LT(table.f(j - 1), target);
+  }
+}
+
+TEST(LogExpTable, InverseBeyondTableUsesExtension) {
+  // Targets whose preimage lies past the table end must resolve through the
+  // shift-and-sum extension and still bracket correctly.
+  LogExpTable table(1.001);  // slow growth: f(3071) is modest, inverse lands high
+  const std::uint64_t far_target = table.f(4000) + 5;
+  const std::uint64_t j = table.inverse_at_least(far_target, 100);
+  ASSERT_GT(j, 3072u);
+  ASSERT_GE(table.f(j), far_target);
+  ASSERT_LT(table.f(j - 1), far_target);
+}
+
+TEST(LogExpTable, InverseRespectsLowerBoundCounter) {
+  LogExpTable table(1.004);
+  // Starting from c, the result must exceed c even for tiny targets.
+  const std::uint64_t c = 500;
+  const std::uint64_t target = table.f(c) + 1;
+  const std::uint64_t j = table.inverse_at_least(target, c);
+  EXPECT_EQ(j, c + 1);
+}
+
+TEST(LogExpTable, ResolutionAblationImprovesAccuracy) {
+  // More mantissa bits => tighter f; the ablation bench relies on this.
+  const double b = 1.002;
+  GeometricScale scale(b);
+  LogExpTable::Config coarse;
+  coarse.b = b;
+  coarse.pow_mantissa_bits = 12;
+  LogExpTable::Config fine;
+  fine.b = b;
+  fine.pow_mantissa_bits = 24;
+  LogExpTable coarse_table(coarse);
+  LogExpTable fine_table(fine);
+  double coarse_err = 0.0;
+  double fine_err = 0.0;
+  for (std::uint64_t c = 100; c < 3000; c += 50) {
+    const double real = scale.f(static_cast<double>(c));
+    coarse_err += std::fabs(static_cast<double>(coarse_table.f(c)) - real) / real;
+    fine_err += std::fabs(static_cast<double>(fine_table.f(c)) - real) / real;
+  }
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+class LogTableBaseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogTableBaseTest, MonotoneAndAnchoredForAllBases) {
+  LogExpTable table(GetParam());
+  EXPECT_EQ(table.f(0), 0u);
+  EXPECT_GE(table.f(1), 1u);
+  std::uint64_t prev = 0;
+  for (std::uint64_t c = 1; c < 2000; c += 3) {
+    const std::uint64_t cur = table.f(c);
+    ASSERT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, LogTableBaseTest,
+                         ::testing::Values(1.0002, 1.001, 1.002, 1.005, 1.01,
+                                           1.02, 1.05, 1.1));
+
+}  // namespace
+}  // namespace disco::util

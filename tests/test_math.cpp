@@ -1,0 +1,137 @@
+// Unit tests for the numeric core: GeometricScale and choose_b.
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace disco::util {
+namespace {
+
+TEST(GeometricScale, RejectsInvalidBase) {
+  EXPECT_THROW(GeometricScale(1.0), std::invalid_argument);
+  EXPECT_THROW(GeometricScale(0.5), std::invalid_argument);
+  EXPECT_THROW(GeometricScale(std::nan("")), std::invalid_argument);
+}
+
+TEST(GeometricScale, PaperBoundaryValues) {
+  // Eq. 1 requires f(0) = 0 and f(1) = 1 for any b.
+  for (double b : {1.0005, 1.002, 1.01, 1.1, 1.5, 2.0}) {
+    GeometricScale s(b);
+    EXPECT_NEAR(s.f(0.0), 0.0, 1e-12) << "b=" << b;
+    EXPECT_NEAR(s.f(1.0), 1.0, 1e-9) << "b=" << b;
+  }
+}
+
+TEST(GeometricScale, MatchesClosedFormAtModerateBase) {
+  GeometricScale s(1.1);
+  // Direct evaluation of (b^c - 1)/(b - 1) is stable at b = 1.1.
+  for (double c : {0.5, 1.0, 5.0, 17.0, 42.0, 100.0}) {
+    const double direct = (std::pow(1.1, c) - 1.0) / 0.1;
+    EXPECT_NEAR(s.f(c), direct, direct * 1e-12) << "c=" << c;
+  }
+}
+
+TEST(GeometricScale, StableNearOne) {
+  // The naive form loses precision for b close to 1; expm1/log1p must not.
+  GeometricScale s(1.0000001);
+  EXPECT_NEAR(s.f(1.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.f(2.0), 2.0 + 1e-7, 1e-6);  // f(2) = 1 + b
+}
+
+TEST(GeometricScale, InverseRoundTrips) {
+  for (double b : {1.001, 1.01, 1.3}) {
+    GeometricScale s(b);
+    for (double c : {0.0, 1.0, 3.7, 20.0, 500.0}) {
+      EXPECT_NEAR(s.f_inv(s.f(c)), c, 1e-7 * (c + 1.0)) << "b=" << b << " c=" << c;
+    }
+  }
+}
+
+TEST(GeometricScale, FIsIncreasingAndConvex) {
+  GeometricScale s(1.05);
+  double prev = s.f(0.0);
+  double prev_gap = 0.0;
+  for (int c = 1; c <= 200; ++c) {
+    const double cur = s.f(c);
+    const double gap = cur - prev;
+    EXPECT_GT(cur, prev);
+    EXPECT_GT(gap, prev_gap);  // convexity: increments strictly grow
+    prev = cur;
+    prev_gap = gap;
+  }
+}
+
+TEST(GeometricScale, StepEqualsIncrement) {
+  GeometricScale s(1.02);
+  for (int c = 0; c < 100; c += 7) {
+    const double inc = s.f(c + 1.0) - s.f(static_cast<double>(c));
+    EXPECT_NEAR(s.step(static_cast<double>(c)), inc, inc * 1e-9);
+  }
+}
+
+TEST(ChooseB, CoversRequestedFlow) {
+  for (int bits : {8, 9, 10, 12, 16}) {
+    for (std::uint64_t max_flow : {std::uint64_t{100000}, std::uint64_t{40} << 30}) {
+      const double b = choose_b(max_flow, bits);
+      ASSERT_GT(b, 1.0);
+      GeometricScale s(b);
+      const double c_max = static_cast<double>((std::uint64_t{1} << bits) - 1);
+      EXPECT_GE(s.f(c_max), static_cast<double>(max_flow) * (1.0 - 1e-9))
+          << "bits=" << bits << " max_flow=" << max_flow;
+    }
+  }
+}
+
+TEST(ChooseB, IsMinimalWithinTolerance) {
+  // A slightly smaller base must NOT cover the flow: b is the provisioning
+  // optimum, not merely sufficient.
+  const std::uint64_t max_flow = std::uint64_t{1} << 30;
+  const int bits = 10;
+  const double b = choose_b(max_flow, bits);
+  GeometricScale smaller(1.0 + (b - 1.0) * 0.999);
+  const double c_max = static_cast<double>((std::uint64_t{1} << bits) - 1);
+  EXPECT_LT(smaller.f(c_max), static_cast<double>(max_flow));
+}
+
+TEST(ChooseB, MoreBitsMeanSmallerBase) {
+  const std::uint64_t max_flow = std::uint64_t{40} << 30;
+  double prev = choose_b(max_flow, 8);
+  for (int bits = 9; bits <= 14; ++bits) {
+    const double b = choose_b(max_flow, bits);
+    EXPECT_LT(b, prev) << "bits=" << bits;
+    prev = b;
+  }
+}
+
+TEST(ChooseB, TinyFlowsGetNearExactBase) {
+  // When the counter can hold the flow directly, b collapses toward 1 and
+  // counting is essentially exact.
+  const double b = choose_b(100, 10);
+  GeometricScale s(b);
+  EXPECT_NEAR(s.f(100.0), 100.0, 0.01);
+}
+
+TEST(ChooseB, RejectsBadArguments) {
+  EXPECT_THROW((void)choose_b(0, 10), std::invalid_argument);
+  EXPECT_THROW((void)choose_b(100, 0), std::invalid_argument);
+  EXPECT_THROW((void)choose_b(100, 63), std::invalid_argument);
+}
+
+TEST(BitWidth, KnownValues) {
+  EXPECT_EQ(bit_width_u64(0), 0);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(2), 2);
+  EXPECT_EQ(bit_width_u64(255), 8);
+  EXPECT_EQ(bit_width_u64(256), 9);
+  EXPECT_EQ(bit_width_u64(~std::uint64_t{0}), 64);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace disco::util

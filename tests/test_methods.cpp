@@ -1,0 +1,111 @@
+// Tests for the uniform method-adapter layer.
+#include "stats/methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+
+namespace disco::stats {
+namespace {
+
+TEST(MakeMethod, KnownNamesResolve) {
+  for (const char* name :
+       {"DISCO", "DISCO-fixed", "SAC", "ANLS-I", "ANLS-II", "exact", "SD"}) {
+    const MethodPtr m = make_method(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->name(), name);
+  }
+}
+
+TEST(MakeMethod, UnknownNameThrows) {
+  EXPECT_THROW((void)make_method("NETFLOW-9000"), std::invalid_argument);
+}
+
+class MethodContractTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MethodContractTest, PrepareAddEstimateLifecycle) {
+  const MethodPtr method = make_method(GetParam());
+  method->prepare(16, 10, 1 << 20);
+  util::Rng rng(1);
+
+  // Feed flow 3 a known byte volume.
+  const std::uint64_t truth = 100000;
+  std::uint64_t sent = 0;
+  while (sent < truth) {
+    method->add(3, 500, rng);
+    sent += 500;
+  }
+  // Untouched flows estimate zero.
+  EXPECT_DOUBLE_EQ(method->estimate(0), 0.0);
+  EXPECT_EQ(method->counter_value(0), 0u);
+  // The fed flow estimates within a single-run envelope.  ANLS-I's envelope
+  // is enormous by design (that is its documented failure: with ~0.2
+  // expected samples it frequently estimates 0) -- the contract here is the
+  // lifecycle, not accuracy, which Table III's bench quantifies.
+  const double slack = std::string(GetParam()) == "ANLS-I" ? 10.0 : 0.5;
+  EXPECT_NEAR(method->estimate(3), static_cast<double>(truth), truth * slack)
+      << GetParam();
+  EXPECT_GT(method->storage_bits(), 0u);
+}
+
+TEST_P(MethodContractTest, ReprepareResetsState) {
+  const MethodPtr method = make_method(GetParam());
+  method->prepare(4, 10, 1 << 20);
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) method->add(0, 1000, rng);
+  method->prepare(4, 10, 1 << 20);
+  EXPECT_DOUBLE_EQ(method->estimate(0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodContractTest,
+                         ::testing::Values("DISCO", "DISCO-fixed", "SAC",
+                                           "ANLS-I", "ANLS-II", "exact", "SD"));
+
+TEST(MethodStorage, BitBudgetsHonoured) {
+  // Every SRAM-only method must allocate exactly flows x bits of counter
+  // storage (plus, for the fixed-point path, the shared table).
+  for (const char* name : {"DISCO", "SAC", "ANLS-I", "ANLS-II"}) {
+    const MethodPtr m = make_method(name);
+    m->prepare(100, 9, 1 << 20);
+    EXPECT_EQ(m->storage_bits(), 900u) << name;
+  }
+  const MethodPtr fixed = make_method("DISCO-fixed");
+  fixed->prepare(100, 9, 1 << 20);
+  EXPECT_GT(fixed->storage_bits(), 900u);       // includes the 96 Kb table
+  const MethodPtr sd = make_method("SD");
+  sd->prepare(100, 9, 1 << 20);
+  EXPECT_EQ(sd->storage_bits(), 900u);          // SRAM side only
+}
+
+TEST(MethodSemantics, ExactIsExact) {
+  const MethodPtr m = make_method("exact");
+  m->prepare(2, 10, 1000);
+  util::Rng rng(3);
+  m->add(0, 123, rng);
+  m->add(0, 456, rng);
+  EXPECT_DOUBLE_EQ(m->estimate(0), 579.0);
+  EXPECT_EQ(m->counter_value(0), 579u);
+}
+
+TEST(MethodSemantics, SdIsExactToo) {
+  const MethodPtr m = make_method("SD");
+  m->prepare(2, 6, 1000000);
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) m->add(1, 999, rng);
+  EXPECT_DOUBLE_EQ(m->estimate(1), 99900.0);
+}
+
+TEST(MethodSemantics, DiscoCounterValueCompressed) {
+  const MethodPtr m = make_method("DISCO");
+  m->prepare(1, 10, 1 << 22);
+  util::Rng rng(5);
+  std::uint64_t sent = 0;
+  while (sent < (1 << 22)) {
+    m->add(0, 1500, rng);
+    sent += 1500;
+  }
+  EXPECT_LE(m->counter_value(0), 1023u);  // honours the 10-bit budget
+}
+
+}  // namespace
+}  // namespace disco::stats

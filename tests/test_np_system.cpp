@@ -1,0 +1,176 @@
+// Tests for the IXP2850 whole-system model (Table V substrate).
+//
+// These assert the *shape* the paper reports -- throughput calibration, ME
+// scaling, burst-aggregation gains, error behaviour -- on reduced workloads
+// so the suite stays fast; the full-size sweep lives in
+// bench_table5_np_throughput.
+#include "sim/np_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace disco::sim {
+namespace {
+
+NpConfig small_config() {
+  NpConfig c;
+  c.flow_count = 256;
+  c.mean_packets = 100.0;
+  c.seed = 7;
+  return c;
+}
+
+TEST(NpSystem, RejectsBadMeCount) {
+  auto c = small_config();
+  c.num_mes = 0;
+  EXPECT_THROW((void)run_np_simulation(c), std::invalid_argument);
+}
+
+TEST(NpSystem, RejectsBadChannelCount) {
+  auto c = small_config();
+  c.sram_channels = 0;
+  EXPECT_THROW((void)run_np_simulation(c), std::invalid_argument);
+  c.sram_channels = 99;
+  EXPECT_THROW((void)run_np_simulation(c), std::invalid_argument);
+}
+
+TEST(NpSystem, ExtraChannelsNeverHurtAndRelieveSaturation) {
+  // ME-bound regime: more channels change nothing.  Channel-bound regime
+  // (many MEs, minimum-size packets): a second channel lifts throughput.
+  auto c = small_config();
+  c.len_lo = 64;
+  c.len_hi = 64;
+  c.num_mes = 32;
+  const NpResult one = run_np_simulation(c);
+  c.sram_channels = 2;
+  const NpResult two = run_np_simulation(c);
+  EXPECT_GT(two.throughput_gbps, one.throughput_gbps * 1.2);
+
+  c.num_mes = 1;
+  c.sram_channels = 1;
+  const NpResult small_one = run_np_simulation(c);
+  c.sram_channels = 4;
+  const NpResult small_four = run_np_simulation(c);
+  EXPECT_NEAR(small_four.throughput_gbps, small_one.throughput_gbps,
+              small_one.throughput_gbps * 0.02);
+}
+
+TEST(NpSystem, SingleMeNearCalibrationTarget) {
+  auto c = small_config();
+  const NpResult r = run_np_simulation(c);
+  EXPECT_GT(r.packets, 0u);
+  // Calibrated to the paper's 11.1 Gbps (avg 544 B packets, burst 1).
+  EXPECT_NEAR(r.throughput_gbps, 11.1, 1.5);
+  // Counting error is small and positive.
+  EXPECT_GT(r.avg_relative_error, 0.0);
+  EXPECT_LT(r.avg_relative_error, 0.1);
+}
+
+TEST(NpSystem, ThroughputScalesNearlyLinearlyInMes) {
+  auto c = small_config();
+  const NpResult one = run_np_simulation(c);
+  c.num_mes = 2;
+  const NpResult two = run_np_simulation(c);
+  c.num_mes = 4;
+  const NpResult four = run_np_simulation(c);
+  EXPECT_GT(two.throughput_gbps, one.throughput_gbps * 1.7);
+  EXPECT_LE(two.throughput_gbps, one.throughput_gbps * 2.1);
+  EXPECT_GT(four.throughput_gbps, one.throughput_gbps * 3.0);
+  EXPECT_LE(four.throughput_gbps, one.throughput_gbps * 4.2);
+}
+
+TEST(NpSystem, BurstAggregationBoostsThroughput) {
+  auto c = small_config();
+  c.burst_lo = 1;
+  c.burst_hi = 8;
+  const NpResult plain = run_np_simulation(c);
+  c.burst_aggregation = true;
+  const NpResult aggregated = run_np_simulation(c);
+  // Paper: ~2.5x gain from updating SRAM once per burst.
+  EXPECT_GT(aggregated.throughput_gbps, plain.throughput_gbps * 1.8);
+  // Fewer SRAM round trips is the mechanism.
+  EXPECT_LT(aggregated.sram_updates, plain.sram_updates);
+}
+
+TEST(NpSystem, BurstAggregationReducesError) {
+  // Larger effective theta => lower coefficient of variation (Theorem 2);
+  // the paper reports the error halving.  Use a bigger population to make
+  // the effect stable.
+  NpConfig c = small_config();
+  c.flow_count = 1024;
+  c.mean_packets = 200.0;
+  c.burst_lo = 1;
+  c.burst_hi = 8;
+  const NpResult plain = run_np_simulation(c);
+  c.burst_aggregation = true;
+  const NpResult aggregated = run_np_simulation(c);
+  EXPECT_LT(aggregated.avg_relative_error, plain.avg_relative_error);
+}
+
+TEST(NpSystem, WorstCaseSmallPacketsNeedManyMes) {
+  // Paper: with all-64 B packets and no bursts, 8 MEs are needed for 10 Gbps.
+  auto c = small_config();
+  c.len_lo = 64;
+  c.len_hi = 64;
+  const NpResult one = run_np_simulation(c);
+  EXPECT_LT(one.throughput_gbps, 2.0);
+  c.num_mes = 8;
+  const NpResult eight = run_np_simulation(c);
+  EXPECT_GT(eight.throughput_gbps, 8.0);
+}
+
+TEST(NpSystem, UtilizationAndAccountingConsistent) {
+  auto c = small_config();
+  const NpResult r = run_np_simulation(c);
+  EXPECT_GT(r.sram_utilization, 0.0);
+  EXPECT_LE(r.sram_utilization, 1.0);
+  EXPECT_GT(r.ring_utilization, 0.0);
+  EXPECT_LE(r.ring_utilization, 1.0);
+  EXPECT_EQ(r.sram_updates, r.packets);  // one update per packet sans bursts
+  // The shared table matches the paper's 96 Kb on-chip budget (plus side
+  // shift bytes, see LogExpTable::storage_bits).
+  EXPECT_GE(r.table_storage_bits, 96u * 1024u);
+  EXPECT_LE(r.table_storage_bits, 2u * 96u * 1024u);
+}
+
+TEST(NpSystem, TraceDrivenRunMatchesAccounting) {
+  // Replaying an explicit packet stream must account every byte and packet
+  // and produce sane throughput/error figures.
+  std::vector<trace::PacketRecord> packets;
+  std::uint64_t bytes = 0;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    const std::uint32_t len = 64 + (i * 131) % 960;
+    packets.push_back({i % 64, len, static_cast<std::uint64_t>(i)});
+    bytes += len;
+  }
+  auto c = small_config();
+  const NpResult r = run_np_simulation_on_trace(c, packets, 64);
+  EXPECT_EQ(r.packets, packets.size());
+  EXPECT_EQ(r.bytes, bytes);
+  EXPECT_GT(r.throughput_gbps, 5.0);
+  EXPECT_LT(r.avg_relative_error, 0.1);
+}
+
+TEST(NpSystem, TraceDrivenBurstAggregationUsesRuns) {
+  // Back-to-back same-flow packets in the provided trace must aggregate.
+  std::vector<trace::PacketRecord> packets;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    packets.push_back({(i / 8) % 32, 512, static_cast<std::uint64_t>(i)});
+  }
+  auto c = small_config();
+  c.burst_aggregation = true;
+  const NpResult r = run_np_simulation_on_trace(c, packets, 32);
+  EXPECT_NEAR(static_cast<double>(r.sram_updates),
+              static_cast<double>(packets.size()) / 8.0,
+              static_cast<double>(packets.size()) * 0.02);
+}
+
+TEST(NpSystem, DeterministicUnderSeed) {
+  const auto c = small_config();
+  const NpResult a = run_np_simulation(c);
+  const NpResult b = run_np_simulation(c);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_DOUBLE_EQ(a.avg_relative_error, b.avg_relative_error);
+}
+
+}  // namespace
+}  // namespace disco::sim

@@ -1,0 +1,134 @@
+// Tests for epoch-report serialisation and collector-side combination, plus
+// the sharded monitor's rotate/evict passthrough.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flowtable/report_io.hpp"
+#include "flowtable/sharded_monitor.hpp"
+
+namespace disco::flowtable {
+namespace {
+
+FiveTuple tuple(std::uint32_t i) {
+  return FiveTuple{0x0b000000u + i, 0x08080808u,
+                   static_cast<std::uint16_t>(3000 + i), 53, 17};
+}
+
+FlowMonitor::EpochReport sample_report() {
+  FlowMonitor::Config c;
+  c.max_flows = 64;
+  c.counter_bits = 12;
+  c.max_flow_bytes = 1 << 24;
+  c.max_flow_packets = 1 << 14;
+  c.seed = 9;
+  FlowMonitor monitor(c);
+  for (int i = 0; i < 2000; ++i) {
+    (void)monitor.ingest(tuple(static_cast<std::uint32_t>(i % 12)),
+                         64 + static_cast<std::uint32_t>(i % 1400));
+  }
+  return monitor.rotate();
+}
+
+TEST(ReportIo, BinaryRoundTrip) {
+  const auto report = sample_report();
+  std::stringstream buf;
+  write_report(buf, report);
+  const auto parsed = read_report(buf);
+  EXPECT_EQ(parsed.epoch, report.epoch);
+  EXPECT_DOUBLE_EQ(parsed.totals.bytes, report.totals.bytes);
+  EXPECT_DOUBLE_EQ(parsed.totals.packets, report.totals.packets);
+  EXPECT_EQ(parsed.totals.flows, report.totals.flows);
+  ASSERT_EQ(parsed.flows.size(), report.flows.size());
+  for (std::size_t i = 0; i < report.flows.size(); ++i) {
+    EXPECT_EQ(parsed.flows[i].flow, report.flows[i].flow) << i;
+    EXPECT_DOUBLE_EQ(parsed.flows[i].bytes, report.flows[i].bytes) << i;
+    EXPECT_DOUBLE_EQ(parsed.flows[i].packets, report.flows[i].packets) << i;
+  }
+}
+
+TEST(ReportIo, EmptyReportRoundTrips) {
+  FlowMonitor::EpochReport empty;
+  empty.epoch = 7;
+  std::stringstream buf;
+  write_report(buf, empty);
+  const auto parsed = read_report(buf);
+  EXPECT_EQ(parsed.epoch, 7u);
+  EXPECT_TRUE(parsed.flows.empty());
+}
+
+TEST(ReportIo, RejectsGarbageAndTruncation) {
+  std::stringstream garbage;
+  garbage << "nope";
+  EXPECT_THROW((void)read_report(garbage), std::runtime_error);
+
+  const auto report = sample_report();
+  std::stringstream buf;
+  write_report(buf, report);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 9);
+  std::stringstream cut(bytes);
+  EXPECT_THROW((void)read_report(cut), std::runtime_error);
+}
+
+TEST(ReportIo, CsvHasHeaderAndRows) {
+  const auto report = sample_report();
+  std::stringstream buf;
+  write_report_csv(buf, report);
+  std::string line;
+  ASSERT_TRUE(std::getline(buf, line));
+  EXPECT_EQ(line, "src_ip,dst_ip,src_port,dst_port,protocol,bytes,packets");
+  std::size_t rows = 0;
+  while (std::getline(buf, line)) ++rows;
+  EXPECT_EQ(rows, report.flows.size());
+}
+
+TEST(ReportIo, CombineSumsTotals) {
+  const auto a = sample_report();
+  const auto b = sample_report();
+  const auto merged = combine_reports(a, b);
+  EXPECT_EQ(merged.flows.size(), a.flows.size() + b.flows.size());
+  EXPECT_DOUBLE_EQ(merged.totals.bytes, a.totals.bytes + b.totals.bytes);
+  EXPECT_EQ(merged.totals.flows, a.totals.flows + b.totals.flows);
+}
+
+// --- sharded monitor lifecycle passthrough ----------------------------------
+
+ShardedFlowMonitor::Config sharded_config() {
+  ShardedFlowMonitor::Config c;
+  c.base.max_flows = 256;
+  c.base.counter_bits = 12;
+  c.base.max_flow_bytes = 1 << 24;
+  c.base.max_flow_packets = 1 << 14;
+  c.base.seed = 11;
+  c.shards = 4;
+  return c;
+}
+
+TEST(ShardedLifecycle, RotateMergesShardsAndClears) {
+  ShardedFlowMonitor monitor(sharded_config());
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    for (int p = 0; p < 50; ++p) (void)monitor.ingest(tuple(i), 500);
+  }
+  const auto report = monitor.rotate();
+  EXPECT_EQ(report.flows.size(), 20u);
+  EXPECT_NEAR(report.totals.bytes, 20.0 * 50 * 500, 20.0 * 50 * 500 * 0.2);
+  EXPECT_EQ(monitor.totals().flows, 0u);
+  // The merged report serialises like any single-monitor report.
+  std::stringstream buf;
+  write_report(buf, report);
+  EXPECT_EQ(read_report(buf).flows.size(), 20u);
+}
+
+TEST(ShardedLifecycle, EvictIdleSpansShards) {
+  ShardedFlowMonitor monitor(sharded_config());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    (void)monitor.ingest(tuple(i), 400, i < 8 ? 0 : 5'000'000'000ull);
+  }
+  const auto evicted = monitor.evict_idle(6'000'000'000ull, 2'000'000'000ull);
+  EXPECT_EQ(evicted.size(), 8u);
+  EXPECT_EQ(monitor.totals().flows, 8u);
+}
+
+}  // namespace
+}  // namespace disco::flowtable

@@ -1,0 +1,122 @@
+// Unit tests for the deterministic PRNG substrate.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace disco::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, ReproducibleAcrossInstances) {
+  Xoshiro256StarStar a(0xdeadbeef);
+  Xoshiro256StarStar b(0xdeadbeef);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextDoubleMeanIsHalf) {
+  Xoshiro256StarStar rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro, BernoulliFrequencyMatchesP) {
+  Xoshiro256StarStar rng(13);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(p)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(Xoshiro, BernoulliDegenerateProbabilities) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, UniformU64StaysInRange) {
+  Xoshiro256StarStar rng(19);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 20u);
+  }
+}
+
+TEST(Xoshiro, UniformU64CoversAllValues) {
+  Xoshiro256StarStar rng(23);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, UniformU64IsUnbiased) {
+  // Chi-square-lite: each of 16 outcomes within 5% of expectation.
+  Xoshiro256StarStar rng(29);
+  std::array<int, 16> counts{};
+  const int n = 1600000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(0, 15)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 16.0, n / 16.0 * 0.05);
+  }
+}
+
+TEST(Xoshiro, SingleValueRange) {
+  Xoshiro256StarStar rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Xoshiro, ForkProducesIndependentStream) {
+  Xoshiro256StarStar parent(37);
+  Xoshiro256StarStar child = parent.fork();
+  // The child's stream should differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256StarStar::min() == 0);
+  static_assert(Xoshiro256StarStar::max() == ~std::uint64_t{0});
+  Xoshiro256StarStar rng(41);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace disco::util

@@ -1,0 +1,98 @@
+// Tests for the Sample-and-Hold baseline (paper reference [7]).
+#include "counters/sample_hold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+
+namespace disco::counters {
+namespace {
+
+TEST(SampleAndHold, RejectsBadRate) {
+  EXPECT_THROW(SampleAndHold(0.0), std::invalid_argument);
+  EXPECT_THROW(SampleAndHold(1.5), std::invalid_argument);
+}
+
+TEST(SampleAndHold, UnheldFlowEstimatesZero) {
+  SampleAndHold c(1e-9);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) c.add(40, rng);
+  EXPECT_FALSE(c.held());
+  EXPECT_DOUBLE_EQ(c.estimate(), 0.0);
+}
+
+TEST(SampleAndHold, RateOneHoldsImmediatelyAndCountsExactly) {
+  SampleAndHold c(1.0);
+  util::Rng rng(2);
+  c.add(100, rng);
+  EXPECT_TRUE(c.held());
+  c.add(200, rng);
+  EXPECT_EQ(c.raw_count(), 300u);
+  // With p = 1 the pre-detection correction vanishes.
+  EXPECT_DOUBLE_EQ(c.estimate(), 300.0);
+}
+
+TEST(SampleAndHold, ElephantsAlmostAlwaysHeld) {
+  // A 1 MB flow at p = 1e-4: detection within ~10 KB, so held with
+  // overwhelming probability and counted near-exactly thereafter.
+  util::Rng rng(3);
+  int held = 0;
+  double err = 0.0;
+  const int runs = 200;
+  for (int r = 0; r < runs; ++r) {
+    SampleAndHold c(1e-4);
+    for (int i = 0; i < 1000; ++i) c.add(1000, rng);  // 1 MB
+    if (c.held()) {
+      ++held;
+      err += util::relative_error(c.estimate(), 1e6);
+    }
+  }
+  EXPECT_EQ(held, runs);
+  EXPECT_LT(err / held, 0.02);
+}
+
+TEST(SampleAndHold, MiceUsuallyInvisible) {
+  // A 500-byte flow at p = 1e-4 is detected with probability ~5%.
+  util::Rng rng(4);
+  int held = 0;
+  const int runs = 2000;
+  for (int r = 0; r < runs; ++r) {
+    SampleAndHold c(1e-4);
+    c.add(500, rng);
+    if (c.held()) ++held;
+  }
+  EXPECT_NEAR(static_cast<double>(held) / runs, 0.0488, 0.02);
+}
+
+TEST(SampleAndHold, EstimateCorrectionIsUnbiasedForHeldFlows) {
+  // Over many runs, conditioning on detection, the estimate's mean should
+  // land near the true bytes for a large flow (the 1/p correction undoes
+  // the expected pre-detection loss).
+  util::Rng rng(5);
+  const double truth = 400000.0;
+  double sum = 0.0;
+  int held = 0;
+  const int runs = 3000;
+  for (int r = 0; r < runs; ++r) {
+    SampleAndHold c(5e-5);
+    for (int i = 0; i < 400; ++i) c.add(1000, rng);
+    if (c.held()) {
+      ++held;
+      sum += c.estimate();
+    }
+  }
+  ASSERT_GT(held, runs / 2);
+  EXPECT_NEAR(sum / held, truth, truth * 0.03);
+}
+
+TEST(SampleAndHold, ResetClears) {
+  SampleAndHold c(1.0);
+  util::Rng rng(6);
+  c.add(100, rng);
+  c.reset();
+  EXPECT_FALSE(c.held());
+  EXPECT_DOUBLE_EQ(c.estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace disco::counters

@@ -1,0 +1,120 @@
+// Unit tests for the hybrid SRAM&DRAM (SD) counter architecture.
+#include "counters/sd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace disco::counters {
+namespace {
+
+SdArray::Config base_config(std::size_t size) {
+  SdArray::Config c;
+  c.size = size;
+  c.sram_bits = 6;
+  c.dram_service_interval = 4;
+  return c;
+}
+
+TEST(SdArray, RejectsBadConfig) {
+  auto c = base_config(4);
+  c.sram_bits = 0;
+  EXPECT_THROW(SdArray{c}, std::invalid_argument);
+  c = base_config(4);
+  c.dram_service_interval = 0;
+  EXPECT_THROW(SdArray{c}, std::invalid_argument);
+}
+
+TEST(SdArray, CountsExactly) {
+  // SD is a full-size architecture: values are exact regardless of traffic.
+  SdArray sd(base_config(8));
+  util::Rng rng(1);
+  std::vector<std::uint64_t> truth(8, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t f = rng.uniform_u64(0, 7);
+    const std::uint64_t l = rng.uniform_u64(40, 1500);
+    sd.add(f, l);
+    truth[f] += l;
+  }
+  for (std::size_t f = 0; f < 8; ++f) EXPECT_EQ(sd.value(f), truth[f]);
+}
+
+TEST(SdArray, SingleGiantIncrementStillExact) {
+  SdArray sd(base_config(2));
+  sd.add(0, 1'000'000);
+  EXPECT_EQ(sd.value(0), 1'000'000u);
+  EXPECT_GT(sd.emergency_stalls(), 0u);  // blew through the 6-bit SRAM part
+}
+
+TEST(SdArray, BackgroundServiceGeneratesBusTraffic) {
+  SdArray sd(base_config(16));
+  for (int i = 0; i < 1000; ++i) sd.add(i % 16, 10);
+  EXPECT_GT(sd.scheduled_flushes(), 0u);
+  EXPECT_EQ(sd.bus_bytes(), (sd.scheduled_flushes() + sd.emergency_stalls()) * 8);
+}
+
+TEST(SdArray, LcfKeepsUpWherePossible) {
+  // Unit increments with a fast service interval: LCF must avoid stalls.
+  auto config = base_config(8);
+  config.dram_service_interval = 2;  // one flush per two updates
+  SdArray sd(config);
+  for (int i = 0; i < 50000; ++i) sd.add(i % 8, 1);
+  EXPECT_EQ(sd.emergency_stalls(), 0u);
+}
+
+TEST(SdArray, SlowServiceCausesStallsUnderByteCounting) {
+  // Byte counting with big packets overwhelms a 6-bit SRAM part no matter
+  // the CMA -- the paper's argument for why SD needs wide SRAM or loses.
+  auto config = base_config(4);
+  config.dram_service_interval = 64;
+  SdArray sd(config);
+  for (int i = 0; i < 1000; ++i) sd.add(i % 4, 1500);
+  EXPECT_GT(sd.emergency_stalls(), 0u);
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(sd.value(f), 1500u * 250u);  // still exact
+  }
+}
+
+TEST(SdArray, RoundRobinAlsoExactButMoreStalls) {
+  auto lcf_config = base_config(32);
+  lcf_config.dram_service_interval = 8;
+  auto rr_config = lcf_config;
+  rr_config.cma = SdArray::Cma::kRoundRobin;
+
+  SdArray lcf(lcf_config);
+  SdArray rr(rr_config);
+  util::Rng rng(7);
+  std::vector<std::uint64_t> truth(32, 0);
+  // Skewed load: a few hot counters -- exactly where LCF beats round-robin.
+  for (int i = 0; i < 30000; ++i) {
+    const std::size_t f = rng.bernoulli(0.8) ? rng.uniform_u64(0, 3)
+                                             : rng.uniform_u64(4, 31);
+    lcf.add(f, 7);
+    rr.add(f, 7);
+    truth[f] += 7;
+  }
+  for (std::size_t f = 0; f < 32; ++f) {
+    EXPECT_EQ(lcf.value(f), truth[f]);
+    EXPECT_EQ(rr.value(f), truth[f]);
+  }
+  EXPECT_LE(lcf.emergency_stalls(), rr.emergency_stalls());
+}
+
+TEST(SdArray, ResetClearsEverything) {
+  SdArray sd(base_config(4));
+  sd.add(0, 99999);
+  sd.reset();
+  EXPECT_EQ(sd.value(0), 0u);
+  EXPECT_EQ(sd.scheduled_flushes(), 0u);
+  EXPECT_EQ(sd.emergency_stalls(), 0u);
+  sd.add(0, 5);
+  EXPECT_EQ(sd.value(0), 5u);
+}
+
+TEST(SdArray, SramStorageAccounting) {
+  SdArray sd(base_config(100));
+  EXPECT_EQ(sd.sram_storage_bits(), 600u);
+}
+
+}  // namespace
+}  // namespace disco::counters

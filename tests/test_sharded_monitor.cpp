@@ -1,0 +1,151 @@
+// Tests for the thread-safe sharded monitor, including a multi-threaded
+// ingest stress test.
+#include "flowtable/sharded_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace disco::flowtable {
+namespace {
+
+FiveTuple tuple(std::uint32_t i) {
+  return FiveTuple{0x0a800000u + i * 31, 0x01010101u,
+                   static_cast<std::uint16_t>(2000 + i), 443, 6};
+}
+
+ShardedFlowMonitor::Config config(unsigned shards) {
+  ShardedFlowMonitor::Config c;
+  c.base.max_flows = 4096;
+  c.base.counter_bits = 12;
+  c.base.max_flow_bytes = 1 << 26;
+  c.base.max_flow_packets = 1 << 18;
+  c.base.seed = 77;
+  c.shards = shards;
+  return c;
+}
+
+TEST(ShardedMonitor, RejectsBadShardCount) {
+  auto c = config(1);
+  c.shards = 0;
+  EXPECT_THROW(ShardedFlowMonitor{c}, std::invalid_argument);
+}
+
+TEST(ShardedMonitor, SingleThreadBehavesLikeMonitor) {
+  ShardedFlowMonitor sharded(config(8));
+  std::uint64_t truth = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t len = 64 + (i * 97) % 1400;
+    ASSERT_TRUE(sharded.ingest(tuple(i % 50), len));
+    truth += len;
+  }
+  EXPECT_EQ(sharded.packets_seen(), 5000u);
+  const auto totals = sharded.totals();
+  EXPECT_EQ(totals.flows, 50u);
+  EXPECT_NEAR(totals.bytes, static_cast<double>(truth), truth * 0.1);
+}
+
+TEST(ShardedMonitor, QueriesRouteToOwningShard) {
+  ShardedFlowMonitor sharded(config(4));
+  for (int i = 0; i < 100; ++i) (void)sharded.ingest(tuple(3), 1000);
+  const auto est = sharded.query(tuple(3));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->bytes, 100000.0, 100000.0 * 0.3);
+  EXPECT_FALSE(sharded.query(tuple(4)).has_value());
+}
+
+TEST(ShardedMonitor, TopKMergesAcrossShards) {
+  ShardedFlowMonitor sharded(config(4));
+  // Volumes 1x..8x across 8 flows which land on different shards.
+  for (std::uint32_t f = 0; f < 8; ++f) {
+    for (std::uint32_t i = 0; i < (f + 1) * 50; ++i) {
+      (void)sharded.ingest(tuple(f), 500);
+    }
+  }
+  const auto top = sharded.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].flow, tuple(7));
+  EXPECT_GE(top[0].bytes, top[1].bytes);
+  EXPECT_GE(top[1].bytes, top[2].bytes);
+}
+
+TEST(ShardedMonitor, MemoryAggregates) {
+  ShardedFlowMonitor sharded(config(8));
+  const auto m = sharded.memory();
+  EXPECT_GT(m.volume_counter_bits, 0u);
+  EXPECT_EQ(m.volume_counter_bits, m.size_counter_bits);
+}
+
+TEST(ShardedMonitor, ConcurrentIngestCountsEveryPacket) {
+  // 8 threads hammer overlapping flow sets; every accepted packet must be
+  // accounted exactly once (packets_seen) and per-flow estimates must land
+  // near the exact per-flow truth.
+  ShardedFlowMonitor sharded(config(8));
+  const unsigned threads = 8;
+  const int packets_per_thread = 20000;
+  const std::uint32_t flow_count = 64;
+  const std::uint32_t packet_len = 512;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(1000 + t);
+      std::uint64_t local = 0;
+      for (int i = 0; i < packets_per_thread; ++i) {
+        const auto f = static_cast<std::uint32_t>(rng.uniform_u64(0, flow_count - 1));
+        if (sharded.ingest(tuple(f), packet_len)) ++local;
+      }
+      accepted += local;
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(accepted.load(), static_cast<std::uint64_t>(threads) * packets_per_thread);
+  EXPECT_EQ(sharded.packets_seen(), accepted.load());
+
+  const auto totals = sharded.totals();
+  const double truth_bytes =
+      static_cast<double>(accepted.load()) * packet_len;
+  EXPECT_EQ(totals.flows, flow_count);
+  EXPECT_NEAR(totals.bytes, truth_bytes, truth_bytes * 0.05);
+  EXPECT_NEAR(totals.packets, static_cast<double>(accepted.load()),
+              static_cast<double>(accepted.load()) * 0.05);
+}
+
+TEST(ShardedMonitor, ConcurrentMixedReadersAndWriters) {
+  // Writers ingest while readers continuously query and aggregate; nothing
+  // crashes, tears, or deadlocks, and final state is consistent.
+  ShardedFlowMonitor sharded(config(4));
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)sharded.totals();
+      (void)sharded.top_k(5);
+      (void)sharded.query(tuple(1));
+    }
+  });
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 10000; ++i) {
+        (void)sharded.ingest(tuple((t * 16 + i) % 32), 256);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(sharded.packets_seen(), 40000u);
+  EXPECT_EQ(sharded.totals().flows, 32u);
+}
+
+}  // namespace
+}  // namespace disco::flowtable

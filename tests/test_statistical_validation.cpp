@@ -1,0 +1,165 @@
+// Statistical validation: pin the implementation's moments to the paper's
+// closed forms with tight Monte-Carlo comparisons (not just bounds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/disco.hpp"
+#include "core/theory.hpp"
+#include "util/rng.hpp"
+
+namespace disco::core {
+namespace {
+
+/// Mean and variance of T(S): traffic needed to reach counter value S under
+/// uniform increments theta.
+struct Moments {
+  double mean;
+  double variance;
+};
+
+Moments simulate_T(double b, std::uint64_t S, std::uint64_t theta, int runs,
+                   util::Rng& rng) {
+  DiscoParams params(b);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    std::uint64_t c = 0;
+    double traffic = 0.0;
+    while (c < S) {
+      c = params.update(c, theta, rng);
+      traffic += static_cast<double>(theta);
+    }
+    sum += traffic;
+    sum2 += traffic * traffic;
+  }
+  const double mean = sum / runs;
+  return Moments{mean, sum2 / runs - mean * mean};
+}
+
+TEST(StatisticalValidation, ExpectedTrafficMatchesEq15) {
+  // E[T(S)] = f(S) for theta = 1 (eq. 15): tight MC comparison.
+  const double b = 1.02;
+  util::GeometricScale scale(b);
+  util::Rng rng(1);
+  for (std::uint64_t S : {50ull, 150ull, 250ull}) {
+    const int runs = 1500;
+    const Moments m = simulate_T(b, S, 1, runs, rng);
+    const double expected = scale.f(static_cast<double>(S));
+    const double tolerance = 5.0 * std::sqrt(m.variance / runs) + 1e-9;
+    EXPECT_NEAR(m.mean, expected, tolerance) << "S=" << S;
+  }
+}
+
+TEST(StatisticalValidation, CoefficientOfVariationMatchesEq17) {
+  // e[T(S)] for theta = 1 (eq. 17): MC within 10% of the closed form.
+  const double b = 1.05;
+  util::Rng rng(2);
+  for (std::uint64_t S : {40ull, 120ull}) {
+    const int runs = 3000;
+    const Moments m = simulate_T(b, S, 1, runs, rng);
+    const double cv_mc = std::sqrt(std::max(0.0, m.variance)) / m.mean;
+    const double cv_formula = theory::coefficient_of_variation(b, S, 1);
+    EXPECT_NEAR(cv_mc, cv_formula, cv_formula * 0.10) << "S=" << S;
+  }
+}
+
+TEST(StatisticalValidation, ThetaFormulaMatchesEq20InItsValidRegion) {
+  // e[T(S)] for theta > 1 (eq. 20), at S large enough that theta <= b^c in
+  // the geometric-trial region (see core/theory.cpp note).
+  const double b = 1.05;
+  const std::uint64_t theta = 20;  // x = f^-1(20) ~ 15; b^c >= theta for c >= ~61
+  const std::uint64_t S = 200;
+  util::Rng rng(3);
+  const int runs = 2000;
+  const Moments m = simulate_T(b, S, theta, runs, rng);
+  const double cv_mc = std::sqrt(std::max(0.0, m.variance)) / m.mean;
+  const double cv_formula = theory::coefficient_of_variation(b, S, theta);
+  EXPECT_NEAR(cv_mc, cv_formula, cv_formula * 0.10);
+  const double mean_formula = theory::expected_traffic(b, S, theta);
+  EXPECT_NEAR(m.mean, mean_formula, mean_formula * 0.01);
+}
+
+TEST(StatisticalValidation, EstimatorVarianceShrinksWithCounterBits) {
+  // At a fixed flow, doubling the counter budget (smaller b) must cut the
+  // estimator's standard deviation roughly by the bound ratio.
+  util::Rng rng(4);
+  const std::uint64_t truth = 1 << 22;
+  auto estimator_sd = [&](int bits) {
+    const auto params = DiscoParams::for_budget(std::uint64_t{1} << 24, bits);
+    const int runs = 600;
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      std::uint64_t c = 0;
+      std::uint64_t sent = 0;
+      while (sent < truth) {
+        c = params.update(c, 1024, rng);
+        sent += 1024;
+      }
+      const double est = params.estimate(c);
+      sum += est;
+      sum2 += est * est;
+    }
+    const double mean = sum / runs;
+    return std::sqrt(std::max(0.0, sum2 / runs - mean * mean));
+  };
+  const double sd8 = estimator_sd(8);
+  const double sd10 = estimator_sd(10);
+  const double bound_ratio =
+      theory::cv_bound(util::choose_b(std::uint64_t{1} << 24, 10)) /
+      theory::cv_bound(util::choose_b(std::uint64_t{1} << 24, 8));
+  EXPECT_NEAR(sd10 / sd8, bound_ratio, 0.2);
+}
+
+TEST(StatisticalValidation, SkewnessOfEstimateIsMild) {
+  // The normal approximation behind confidence_interval needs the estimate
+  // distribution to be roughly symmetric at realistic flow sizes; check the
+  // standardized third moment is small.
+  DiscoParams params(1.01);
+  util::Rng rng(5);
+  const std::uint64_t truth = 500000;
+  const int runs = 4000;
+  std::vector<double> estimates;
+  estimates.reserve(runs);
+  double mean = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    std::uint64_t c = 0;
+    std::uint64_t sent = 0;
+    while (sent < truth) {
+      c = params.update(c, 800, rng);
+      sent += 800;
+    }
+    estimates.push_back(params.estimate(c));
+    mean += estimates.back();
+  }
+  mean /= runs;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double e : estimates) {
+    const double d = e - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= runs;
+  m3 /= runs;
+  const double skewness = m3 / std::pow(m2, 1.5);
+  EXPECT_LT(std::fabs(skewness), 0.5);
+}
+
+TEST(StatisticalValidation, FlowSizeCountingMatchesAnlsVarianceFormula) {
+  // For l = 1, Var[T(S)] = (b^2S - 1)/(b^2 - 1) - (b^S - 1)/(b - 1)
+  // (eq. 16).  MC variance within 15%.
+  const double b = 1.1;
+  const std::uint64_t S = 40;
+  util::Rng rng(6);
+  const int runs = 10000;
+  const Moments m = simulate_T(b, S, 1, runs, rng);
+  const double s = static_cast<double>(S);
+  const double var_formula = (std::pow(b, 2.0 * s) - 1.0) / (b * b - 1.0) -
+                             (std::pow(b, s) - 1.0) / (b - 1.0);
+  EXPECT_NEAR(m.variance, var_formula, var_formula * 0.15);
+}
+
+}  // namespace
+}  // namespace disco::core

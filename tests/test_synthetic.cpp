@@ -1,0 +1,215 @@
+// Unit tests for scenario generators and the packet stream interleaver.
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/trace_stats.hpp"
+
+namespace disco::trace {
+namespace {
+
+TEST(Scenario, MakeFlowsAssignsDenseIds) {
+  util::Rng rng(1);
+  const auto flows = scenario1().make_flows(50, rng);
+  ASSERT_EQ(flows.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(flows[i].id, i);
+    EXPECT_GE(flows[i].packets(), 1u);
+  }
+}
+
+TEST(Scenario, DeterministicUnderSeed) {
+  util::Rng a(7);
+  util::Rng b(7);
+  const auto fa = scenario2().make_flows(20, a);
+  const auto fb = scenario2().make_flows(20, b);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    ASSERT_EQ(fa[i].lengths, fb[i].lengths);
+  }
+}
+
+TEST(Scenario1, HeavyTailedSmallFlowsDominate) {
+  util::Rng rng(2);
+  const auto flows = scenario1().make_flows(2000, rng);
+  std::size_t tiny = 0;
+  for (const auto& f : flows) {
+    if (f.packets() <= 8) ++tiny;
+  }
+  // Pareto shape 1.053, scale 4: more than a third of flows are tiny.
+  EXPECT_GT(tiny, flows.size() / 3);
+}
+
+TEST(Scenario2, MeanPacketsNearPaper) {
+  util::Rng rng(3);
+  const auto flows = scenario2().make_flows(3000, rng);
+  const auto summary = summarize(flows);
+  // Paper: 778.30 packets per flow on average (Exp(800) floored).
+  EXPECT_NEAR(summary.mean_packets_per_flow, 800.0, 40.0);
+}
+
+TEST(Scenario3, MeanPacketsNearPaper) {
+  util::Rng rng(4);
+  const auto flows = scenario3().make_flows(3000, rng);
+  const auto summary = summarize(flows);
+  // Paper: 772.01 (uniform 2..1600).
+  EXPECT_NEAR(summary.mean_packets_per_flow, 801.0, 25.0);
+}
+
+TEST(ScenarioSynthetics, PacketLengthVarianceIsHigh) {
+  // Table III: 100% of synthetic flows have packet length variance > 10.
+  util::Rng rng(5);
+  for (const auto& scenario : {scenario1(), scenario2(), scenario3()}) {
+    const auto flows = scenario.make_flows(300, rng);
+    const auto summary = summarize(flows);
+    EXPECT_GT(summary.share_length_variance_gt10, 0.95) << scenario.name();
+    EXPECT_GT(summary.mean_length_variance, 1e3) << scenario.name();
+  }
+}
+
+TEST(RealTraceModel, MeanFlowVolumeNearNlanrTrace) {
+  // Paper's trace: mean flow 409.5 KB.  Heavy-tailed sample means wander, so
+  // assert the right order of magnitude over a decent population.
+  util::Rng rng(6);
+  const auto flows = real_trace_model().make_flows(4000, rng);
+  const auto summary = summarize(flows);
+  EXPECT_GT(summary.mean_bytes_per_flow, 150.0e3);
+  EXPECT_LT(summary.mean_bytes_per_flow, 1.2e6);
+}
+
+TEST(RealTraceModel, HighVarianceShare) {
+  // Paper: variance > 10 for 62.78% of real-trace flows; the bimodal model
+  // exceeds that (any flow with >= 2 packets almost surely qualifies).
+  util::Rng rng(7);
+  const auto flows = real_trace_model().make_flows(1000, rng);
+  const auto summary = summarize(flows);
+  EXPECT_GT(summary.share_length_variance_gt10, 0.6);
+}
+
+TEST(AsFlowSize, CollapsesLengthsToOne) {
+  util::Rng rng(8);
+  const auto sized = as_flow_size(scenario1());
+  const auto flows = sized.make_flows(100, rng);
+  for (const auto& f : flows) {
+    for (auto l : f.lengths) ASSERT_EQ(l, 1u);
+    EXPECT_EQ(f.bytes(), f.packets());
+  }
+}
+
+TEST(Make8020Flows, TwentyPercentCarryMostTraffic) {
+  util::Rng rng(9);
+  auto flows = make_8020_flows(2560, 400.0, 64, 1024, rng);
+  ASSERT_EQ(flows.size(), 2560u);
+  std::vector<std::uint64_t> volumes;
+  std::uint64_t total = 0;
+  for (const auto& f : flows) {
+    volumes.push_back(f.bytes());
+    total += f.bytes();
+  }
+  std::sort(volumes.rbegin(), volumes.rend());
+  std::uint64_t top20 = 0;
+  for (std::size_t i = 0; i < volumes.size() / 5; ++i) top20 += volumes[i];
+  const double share = static_cast<double>(top20) / static_cast<double>(total);
+  EXPECT_GT(share, 0.65);  // canonical 80/20, sampling slack allowed
+  EXPECT_LT(share, 0.95);
+}
+
+TEST(Make8020Flows, LengthsWithinConfiguredRange) {
+  util::Rng rng(10);
+  const auto flows = make_8020_flows(100, 50.0, 64, 1024, rng);
+  for (const auto& f : flows) {
+    for (auto l : f.lengths) {
+      ASSERT_GE(l, 64u);
+      ASSERT_LE(l, 1024u);
+    }
+  }
+}
+
+TEST(PacketStream, EmitsEveryPacketExactlyOnce) {
+  util::Rng rng(11);
+  auto flows = scenario3().make_flows(30, rng);
+  std::map<std::uint32_t, std::uint64_t> expected;
+  for (const auto& f : flows) expected[f.id] = f.packets();
+
+  PacketStream stream(std::move(flows), 1, 4, 99);
+  std::map<std::uint32_t, std::uint64_t> seen;
+  std::uint64_t count = 0;
+  while (auto p = stream.next()) {
+    ++seen[p->flow_id];
+    ++count;
+  }
+  EXPECT_EQ(count, stream.total_packets());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(PacketStream, BurstOneNeverRepeatsFlowBackToBack) {
+  util::Rng rng(12);
+  auto flows = scenario3().make_flows(50, rng);
+  PacketStream stream(std::move(flows), 1, 1, 123);
+  std::uint32_t prev = 0xffffffff;
+  int repeats = 0;
+  std::uint64_t n = 0;
+  while (auto p = stream.next()) {
+    if (p->flow_id == prev) ++repeats;
+    prev = p->flow_id;
+    ++n;
+  }
+  // Only permissible at the very tail when one flow remains active.
+  EXPECT_LT(static_cast<double>(repeats), 0.05 * static_cast<double>(n));
+}
+
+TEST(PacketStream, BurstRangeRespected) {
+  util::Rng rng(13);
+  auto flows = scenario2().make_flows(40, rng);
+  PacketStream stream(std::move(flows), 2, 8, 321);
+  // Runs must be <= 8 while multiple flows are active; once a single flow
+  // remains (end of trace) its bursts necessarily chain, so a sliver of
+  // longer runs is tolerated.
+  std::uint32_t prev = 0xffffffff;
+  int run = 0;
+  std::uint64_t total = 0;
+  std::uint64_t overlong = 0;
+  while (auto p = stream.next()) {
+    if (p->flow_id == prev) {
+      ++run;
+    } else {
+      run = 1;
+      prev = p->flow_id;
+    }
+    ++total;
+    if (run > 8) ++overlong;
+  }
+  EXPECT_LT(static_cast<double>(overlong), 0.02 * static_cast<double>(total));
+}
+
+TEST(PacketStream, TimestampsStrictlyIncrease) {
+  util::Rng rng(14);
+  auto flows = scenario1().make_flows(20, rng);
+  PacketStream stream(std::move(flows), 1, 2, 555);
+  std::uint64_t prev_ts = 0;
+  bool first = true;
+  while (auto p = stream.next()) {
+    if (!first) { ASSERT_GT(p->timestamp_ns, prev_ts); }
+    prev_ts = p->timestamp_ns;
+    first = false;
+  }
+}
+
+TEST(PacketStream, DrainMatchesTotal) {
+  util::Rng rng(15);
+  auto flows = scenario1().make_flows(25, rng);
+  std::uint64_t total = 0;
+  for (const auto& f : flows) total += f.packets();
+  PacketStream stream(std::move(flows), 1, 8, 777);
+  EXPECT_EQ(stream.total_packets(), total);
+  EXPECT_EQ(stream.drain().size(), total);
+}
+
+TEST(PacketStream, RejectsBadBurstRange) {
+  EXPECT_THROW(PacketStream({}, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(PacketStream({}, 5, 2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace disco::trace

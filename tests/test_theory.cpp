@@ -1,0 +1,176 @@
+// Tests for the Section IV closed forms -- and Monte-Carlo experiments that
+// pin the *implementation* to the *analysis* (Theorems 2 and 3).
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/disco.hpp"
+#include "util/math.hpp"
+
+namespace disco::core::theory {
+namespace {
+
+TEST(CvBound, MatchesPaperExample) {
+  // Paper, below Corollary 1: b = 1.002 gives a bound of 0.0316.
+  EXPECT_NEAR(cv_bound(1.002), 0.0316, 5e-4);
+}
+
+TEST(CvBound, IncreasesWithB) {
+  // Paper Fig. 3: smaller b means smaller relative error.
+  double prev = 0.0;
+  for (double b : {1.0005, 1.001, 1.002, 1.005, 1.01, 1.05}) {
+    const double e = cv_bound(b);
+    EXPECT_GT(e, prev) << "b=" << b;
+    prev = e;
+  }
+}
+
+TEST(CvBound, RejectsBadBase) {
+  EXPECT_THROW((void)cv_bound(1.0), std::invalid_argument);
+}
+
+TEST(CoefficientOfVariation, ZeroAtZeroOrOneCounter) {
+  // S = 1 with theta = 1 is deterministic: one unit always sets c = 1.
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(1.002, 0, 1), 0.0);
+  EXPECT_NEAR(coefficient_of_variation(1.002, 1, 1), 0.0, 1e-9);
+}
+
+TEST(CoefficientOfVariation, MonotoneInSAndBounded) {
+  // Paper Fig. 2 shape: e grows with S and saturates at the Corollary 1 bound.
+  const double b = 1.002;
+  const double bound = cv_bound(b);
+  for (std::uint64_t theta : {1ull, 64ull, 512ull, 1024ull}) {
+    double prev = 0.0;
+    for (std::uint64_t S = 2; S <= 4096; S *= 2) {
+      const double e = coefficient_of_variation(b, S, theta);
+      EXPECT_GE(e + 1e-12, prev) << "theta=" << theta << " S=" << S;
+      EXPECT_LE(e, bound + 1e-9) << "theta=" << theta << " S=" << S;
+      prev = e;
+    }
+    EXPECT_NEAR(coefficient_of_variation(b, 100000, theta), bound, bound * 0.01)
+        << "theta=" << theta;
+  }
+}
+
+TEST(CoefficientOfVariation, LargerThetaLowersEarlyVariation) {
+  // A bigger deterministic first jump removes early randomness: at moderate
+  // S the theta > 1 curves sit below theta = 1 (visible in paper Fig. 2).
+  const double b = 1.002;
+  const std::uint64_t S = 1024;
+  const double e1 = coefficient_of_variation(b, S, 1);
+  const double e512 = coefficient_of_variation(b, S, 512);
+  EXPECT_LT(e512, e1);
+}
+
+TEST(ExpectedTraffic, ThetaOneIsF) {
+  const double b = 1.01;
+  util::GeometricScale scale(b);
+  for (std::uint64_t S : {1ull, 10ull, 100ull, 1000ull}) {
+    EXPECT_NEAR(expected_traffic(b, S, 1), scale.f(static_cast<double>(S)),
+                scale.f(static_cast<double>(S)) * 1e-9);
+  }
+}
+
+TEST(ExpectedTraffic, LargeThetaShortCircuits) {
+  // If one trial of theta already exceeds f(S), E[T] is just theta.
+  const double b = 1.01;
+  EXPECT_DOUBLE_EQ(expected_traffic(b, 5, 1000000), 1000000.0);
+}
+
+TEST(ExpectedCounterBound, IsInverseF) {
+  util::GeometricScale scale(1.004);
+  for (double n : {10.0, 1000.0, 1e6}) {
+    EXPECT_NEAR(expected_counter_upper_bound(1.004, n), scale.f_inv(n), 1e-9);
+  }
+}
+
+// --- Monte-Carlo pinning: implementation obeys the analysis -----------------
+
+double simulated_cv(double b, std::uint64_t target_traffic, std::uint64_t theta,
+                    int runs, std::uint64_t seed) {
+  // Feed uniform increments of size theta and record the traffic T needed to
+  // reach counter value S* = f^-1-ish of the target; instead we fix the
+  // total traffic and measure the estimate spread, which shares the same
+  // asymptotic coefficient of variation.
+  DiscoParams params(b);
+  util::Rng rng(seed);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    std::uint64_t c = 0;
+    std::uint64_t sent = 0;
+    while (sent < target_traffic) {
+      c = params.update(c, theta, rng);
+      sent += theta;
+    }
+    const double est = params.estimate(c);
+    sum += est;
+    sum2 += est * est;
+  }
+  const double mean = sum / runs;
+  const double var = sum2 / runs - mean * mean;
+  return std::sqrt(std::max(0.0, var)) / mean;
+}
+
+TEST(MonteCarlo, EstimatorSpreadRespectsCorollaryBound) {
+  // The estimator's relative spread must stay at/below the Corollary 1 bound
+  // (within Monte-Carlo slack) and shrink when b shrinks.
+  const std::uint64_t traffic = 200000;
+  const double cv_large_b = simulated_cv(1.02, traffic, 100, 400, 11);
+  const double cv_small_b = simulated_cv(1.002, traffic, 100, 400, 12);
+  EXPECT_LE(cv_large_b, cv_bound(1.02) * 1.25);
+  EXPECT_LE(cv_small_b, cv_bound(1.002) * 1.25);
+  EXPECT_LT(cv_small_b, cv_large_b);
+}
+
+TEST(MonteCarlo, Theorem3BoundHolds) {
+  // E[c(n)] <= f^-1(n), and the gap is tiny (paper Fig. 4: relative gap
+  // ~1e-4).  50 runs, like the paper.
+  const double b = 1.01;
+  DiscoParams params(b);
+  util::Rng rng(21);
+  for (std::uint64_t n : {1000ull, 10000ull, 100000ull}) {
+    const int runs = 50;
+    double mean_counter = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      std::uint64_t c = 0;
+      std::uint64_t sent = 0;
+      while (sent < n) {
+        const std::uint64_t l = std::min<std::uint64_t>(500, n - sent);
+        c = params.update(c, l, rng);
+        sent += l;
+      }
+      mean_counter += static_cast<double>(c);
+    }
+    mean_counter /= runs;
+    const double bound = expected_counter_upper_bound(b, static_cast<double>(n));
+    // Monte-Carlo mean of 50 runs: allow half a percent of slack above.
+    EXPECT_LE(mean_counter, bound * 1.005) << "n=" << n;
+    // The bound is tight: the mean must not sit far below it either.
+    EXPECT_GE(mean_counter, bound * 0.97) << "n=" << n;
+  }
+}
+
+class CvFormulaTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(CvFormulaTest, ThetaFormulaConsistentAcrossGrid) {
+  const auto [b, theta] = GetParam();
+  const double bound = cv_bound(b);
+  for (std::uint64_t S = 2; S <= 2048; S *= 4) {
+    const double e = coefficient_of_variation(b, S, theta);
+    ASSERT_GE(e, 0.0);
+    ASSERT_LE(e, bound + 1e-9) << "b=" << b << " theta=" << theta << " S=" << S;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CvFormulaTest,
+    ::testing::Combine(::testing::Values(1.001, 1.002, 1.01, 1.05),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{64},
+                                         std::uint64_t{512}, std::uint64_t{1024})));
+
+}  // namespace
+}  // namespace disco::core::theory

@@ -1,0 +1,80 @@
+// Smoke tests for the CLI tools: invoke the real binaries end to end and
+// validate their outputs (generation -> file format -> analysis).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "trace/pcap.hpp"
+#include "trace/trace_io.hpp"
+
+#ifndef DISCO_TOOLS_DIR
+#error "DISCO_TOOLS_DIR must be defined by the build"
+#endif
+
+namespace disco {
+namespace {
+
+std::string tool(const std::string& name) {
+  return std::string(DISCO_TOOLS_DIR) + "/" + name;
+}
+
+int run(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return status;
+}
+
+TEST(Tools, TracegenUsageErrorOnNoArgs) {
+  EXPECT_NE(run(tool("disco_tracegen") + " >/dev/null 2>&1"), 0);
+}
+
+TEST(Tools, TracegenWritesParsableDtrc) {
+  const std::string path = ::testing::TempDir() + "/tools_test.dtrc";
+  ASSERT_EQ(run(tool("disco_tracegen") + " scenario1 20 " + path +
+                " --seed 5 >/dev/null"),
+            0);
+  const auto data = trace::read_trace_file(path);
+  EXPECT_EQ(data.flow_count, 20u);
+  EXPECT_GT(data.packets.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Tools, TracegenWritesParsablePcap) {
+  const std::string path = ::testing::TempDir() + "/tools_test.pcap";
+  ASSERT_EQ(run(tool("disco_tracegen") + " scenario3 10 " + path +
+                " --burst 1:4 >/dev/null"),
+            0);
+  const auto packets = trace::read_pcap_file(path);
+  EXPECT_GT(packets.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Tools, TracegenRejectsUnknownScenario) {
+  EXPECT_NE(run(tool("disco_tracegen") + " bogus 10 /tmp/x.dtrc >/dev/null 2>&1"),
+            0);
+}
+
+TEST(Tools, AnalyzeRunsOnGeneratedTrace) {
+  const std::string path = ::testing::TempDir() + "/tools_analyze.dtrc";
+  ASSERT_EQ(run(tool("disco_tracegen") + " real 50 " + path + " >/dev/null"), 0);
+  EXPECT_EQ(run(tool("disco_analyze") + " " + path +
+                " --bits 10 --methods DISCO,SAC --top 2 >/dev/null"),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(Tools, AnalyzeWithConfidenceIntervals) {
+  const std::string path = ::testing::TempDir() + "/tools_ci.dtrc";
+  ASSERT_EQ(run(tool("disco_tracegen") + " scenario2 30 " + path + " >/dev/null"), 0);
+  EXPECT_EQ(run(tool("disco_analyze") + " " + path +
+                " --bits 12 --methods DISCO --ci >/dev/null"),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(Tools, AnalyzeFailsOnMissingFile) {
+  EXPECT_NE(run(tool("disco_analyze") + " /nonexistent.dtrc >/dev/null 2>&1"), 0);
+}
+
+}  // namespace
+}  // namespace disco

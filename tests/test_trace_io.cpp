@@ -1,0 +1,105 @@
+// Unit tests for binary/CSV trace serialisation.
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/synthetic.hpp"
+
+namespace disco::trace {
+namespace {
+
+std::vector<PacketRecord> sample_packets() {
+  util::Rng rng(1);
+  auto flows = scenario1().make_flows(10, rng);
+  return PacketStream(std::move(flows), 1, 4, 2).drain();
+}
+
+TEST(TraceIo, RoundTripsThroughStream) {
+  const auto packets = sample_packets();
+  std::stringstream buf;
+  write_trace(buf, packets, 10);
+  const TraceData data = read_trace(buf);
+  EXPECT_EQ(data.flow_count, 10u);
+  ASSERT_EQ(data.packets.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    ASSERT_EQ(data.packets[i], packets[i]) << "i=" << i;
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buf;
+  write_trace(buf, {}, 0);
+  const TraceData data = read_trace(buf);
+  EXPECT_EQ(data.flow_count, 0u);
+  EXPECT_TRUE(data.packets.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOPE-not-a-trace-file";
+  EXPECT_THROW((void)read_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedHeader) {
+  std::stringstream buf;
+  const std::uint32_t magic = kTraceMagic;
+  buf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  EXPECT_THROW((void)read_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedRecords) {
+  const auto packets = sample_packets();
+  std::stringstream buf;
+  write_trace(buf, packets, 10);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 7);  // chop mid-record
+  std::stringstream cut(bytes);
+  EXPECT_THROW((void)read_trace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream buf;
+  const std::uint32_t magic = kTraceMagic;
+  const std::uint32_t version = kTraceVersion + 1;
+  buf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  buf.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint32_t flows = 0;
+  const std::uint64_t count = 0;
+  buf.write(reinterpret_cast<const char*>(&flows), sizeof(flows));
+  buf.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  EXPECT_THROW((void)read_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto packets = sample_packets();
+  const std::string path = ::testing::TempDir() + "/disco_trace_test.dtrc";
+  write_trace_file(path, packets, 10);
+  const TraceData data = read_trace_file(path);
+  EXPECT_EQ(data.packets.size(), packets.size());
+  EXPECT_EQ(data.packets, packets);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_file("/nonexistent/definitely/missing.dtrc"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, CsvHasHeaderAndAllRows) {
+  const auto packets = sample_packets();
+  std::stringstream buf;
+  write_trace_csv(buf, packets);
+  std::string line;
+  ASSERT_TRUE(std::getline(buf, line));
+  EXPECT_EQ(line, "flow_id,length,timestamp_ns");
+  std::size_t rows = 0;
+  while (std::getline(buf, line)) ++rows;
+  EXPECT_EQ(rows, packets.size());
+}
+
+}  // namespace
+}  // namespace disco::trace

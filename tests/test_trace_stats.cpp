@@ -1,0 +1,96 @@
+// Unit tests for ground-truth trace statistics.
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace disco::trace {
+namespace {
+
+FlowRecord make_flow(std::uint32_t id, std::vector<std::uint32_t> lengths) {
+  FlowRecord f;
+  f.id = id;
+  f.lengths = std::move(lengths);
+  return f;
+}
+
+TEST(FlowRecord, BytesAndPackets) {
+  const auto f = make_flow(0, {81, 1420, 142, 691});
+  EXPECT_EQ(f.packets(), 4u);
+  EXPECT_EQ(f.bytes(), 2334u);
+}
+
+TEST(FlowRecord, VarianceOfConstantLengthsIsZero) {
+  const auto f = make_flow(0, {100, 100, 100});
+  EXPECT_DOUBLE_EQ(f.length_variance(), 0.0);
+}
+
+TEST(FlowRecord, VarianceKnownValue) {
+  // lengths {2, 4, 4, 4, 5, 5, 7, 9}: sample variance 32/7.
+  const auto f = make_flow(0, {2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(f.length_variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(FlowRecord, SinglePacketVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(make_flow(0, {1500}).length_variance(), 0.0);
+}
+
+TEST(FlowTruths, MirrorsFlows) {
+  const std::vector<FlowRecord> flows = {make_flow(0, {10, 20}),
+                                         make_flow(1, {1500})};
+  const auto truths = flow_truths(flows);
+  ASSERT_EQ(truths.size(), 2u);
+  EXPECT_EQ(truths[0].packets, 2u);
+  EXPECT_EQ(truths[0].bytes, 30u);
+  EXPECT_EQ(truths[1].packets, 1u);
+  EXPECT_EQ(truths[1].bytes, 1500u);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const TraceSummary s = summarize({});
+  EXPECT_EQ(s.flow_count, 0u);
+  EXPECT_EQ(s.total_bytes, 0u);
+}
+
+TEST(Summarize, AggregatesCorrectly) {
+  const std::vector<FlowRecord> flows = {make_flow(0, {100, 100}),
+                                         make_flow(1, {40, 1500}),
+                                         make_flow(2, {64})};
+  const TraceSummary s = summarize(flows);
+  EXPECT_EQ(s.flow_count, 3u);
+  EXPECT_EQ(s.total_packets, 5u);
+  EXPECT_EQ(s.total_bytes, 1804u);
+  EXPECT_EQ(s.max_flow_bytes, 1540u);
+  EXPECT_EQ(s.max_flow_packets, 2u);
+  EXPECT_NEAR(s.mean_packets_per_flow, 5.0 / 3.0, 1e-12);
+  // Only flow 1 has variance > 10.
+  EXPECT_NEAR(s.share_length_variance_gt10, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TruthsFromPackets, MatchesFlowView) {
+  util::Rng rng(42);
+  auto flows = scenario1().make_flows(40, rng);
+  const auto direct = flow_truths(flows);
+
+  PacketStream stream(flows, 1, 8, 7);
+  const auto packets = stream.drain();
+  const auto rebuilt = truths_from_packets(packets, 40);
+
+  ASSERT_EQ(rebuilt.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].packets, direct[i].packets) << "i=" << i;
+    EXPECT_EQ(rebuilt[i].bytes, direct[i].bytes) << "i=" << i;
+    EXPECT_NEAR(rebuilt[i].length_variance, direct[i].length_variance,
+                1e-6 * (direct[i].length_variance + 1.0))
+        << "i=" << i;
+  }
+}
+
+TEST(TruthsFromPackets, ThrowsOnOutOfRangeFlowId) {
+  std::vector<PacketRecord> packets = {{5, 100, 0}};
+  EXPECT_THROW((void)truths_from_packets(packets, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace disco::trace

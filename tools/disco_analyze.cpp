@@ -1,0 +1,166 @@
+// disco_analyze: offline analysis of a stored trace.
+//
+//   disco_analyze <trace-file> [options]
+//
+//   trace-file    .dtrc or .pcap (format by extension)
+//
+//   --bits N           counter budget per flow (default 10)
+//   --mode volume|size what to count (default volume)
+//   --methods a,b,...  comparison set (default DISCO,DISCO-fixed,SAC)
+//   --seed N           RNG seed for the probabilistic methods (default 1)
+//   --top K            also print the K heaviest flows by exact volume
+//   --ci               print 95% confidence intervals for the top flows'
+//                      DISCO estimates (Theorem 2 normal approximation)
+//
+// Replays the trace against each method and prints the paper's error
+// metrics, plus counter-bit accounting -- the offline half of the pipeline.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/disco.hpp"
+#include "stats/experiment.hpp"
+#include "stats/table.hpp"
+#include "trace/pcap.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: disco_analyze <trace.dtrc|trace.pcap> [--bits N]"
+               " [--mode volume|size] [--methods a,b,...] [--seed N] [--top K]\n";
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace disco;
+  if (argc < 2) usage();
+  const std::string path = argv[1];
+  if (path == "--help" || path == "-h") usage();
+
+  int bits = 10;
+  stats::CountingMode mode = stats::CountingMode::kVolume;
+  std::vector<std::string> methods = {"DISCO", "DISCO-fixed", "SAC"};
+  std::uint64_t seed = 1;
+  std::size_t top_k = 0;
+  bool with_ci = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
+      bits = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const std::string m = argv[++i];
+      if (m == "volume") {
+        mode = stats::CountingMode::kVolume;
+      } else if (m == "size") {
+        mode = stats::CountingMode::kSize;
+      } else {
+        usage("--mode must be volume or size");
+      }
+    } else if (std::strcmp(argv[i], "--methods") == 0 && i + 1 < argc) {
+      methods = split_csv(argv[++i]);
+      if (methods.empty()) usage("--methods list empty");
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ci") == 0) {
+      with_ci = true;
+    } else {
+      usage("unknown option");
+    }
+  }
+
+  try {
+    // Load packets and regroup them into flows (arrival order preserved).
+    std::vector<trace::PacketRecord> packets;
+    if (ends_with(path, ".pcap")) {
+      packets = trace::read_pcap_file(path);
+    } else {
+      packets = trace::read_trace_file(path).packets;
+    }
+    std::uint32_t max_flow_id = 0;
+    for (const auto& p : packets) max_flow_id = std::max(max_flow_id, p.flow_id);
+    std::vector<trace::FlowRecord> flows(max_flow_id + 1);
+    for (std::uint32_t id = 0; id <= max_flow_id; ++id) flows[id].id = id;
+    for (const auto& p : packets) flows[p.flow_id].lengths.push_back(p.length);
+
+    const auto summary = trace::summarize(flows);
+    std::cout << "trace: " << packets.size() << " packets, " << summary.flow_count
+              << " flow slots, " << summary.total_bytes << " bytes; counting "
+              << stats::to_string(mode) << " with " << bits
+              << "-bit counters\n\n";
+
+    stats::TextTable table({"method", "avg R", "R_o(0.95)", "max R",
+                            "largest counter bits", "SRAM bits"});
+    for (const auto& name : methods) {
+      const auto method = stats::make_method(name);
+      const auto r = stats::run_accuracy(*method, flows, mode, bits, seed);
+      table.add_row({name, stats::fmt(r.errors.average, 4),
+                     stats::fmt(r.errors.optimistic95, 4),
+                     stats::fmt(r.errors.maximum, 4),
+                     std::to_string(r.max_counter_bits),
+                     std::to_string(r.storage_bits)});
+    }
+    table.print(std::cout);
+
+    if (top_k > 0 || with_ci) {
+      if (top_k == 0) top_k = 5;
+      auto truths = trace::flow_truths(flows);
+      std::partial_sort(truths.begin(),
+                        truths.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(top_k, truths.size())),
+                        truths.end(),
+                        [](const trace::FlowTruth& a, const trace::FlowTruth& b) {
+                          return a.bytes > b.bytes;
+                        });
+      // Re-run DISCO to attach estimates (and intervals) to the top flows.
+      const auto disco = stats::make_method("DISCO");
+      const auto rd = stats::run_accuracy(*disco, flows, mode, bits, seed);
+      const auto params = core::DiscoParams::for_budget(
+          std::max<std::uint64_t>(1, stats::max_flow_length(flows, mode)), bits);
+      std::cout << "\ntop flows by exact volume:\n";
+      for (std::size_t i = 0; i < std::min(top_k, truths.size()); ++i) {
+        std::cout << "  flow " << truths[i].id << ": " << truths[i].bytes
+                  << " B / " << truths[i].packets << " pkts; DISCO estimate "
+                  << stats::fmt(rd.estimates[truths[i].id], 0);
+        if (with_ci) {
+          // Invert the estimate back to the counter for the interval.
+          const auto c = static_cast<std::uint64_t>(
+              params.counter_bound(rd.estimates[truths[i].id]) + 0.5);
+          const auto ci = params.confidence_interval(c, 0.95);
+          std::cout << " (95% CI [" << stats::fmt(ci.low, 0) << ", "
+                    << stats::fmt(ci.high, 0) << "])";
+        }
+        std::cout << '\n';
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
