@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_brick.dir/bench_ablation_brick.cpp.o"
+  "CMakeFiles/bench_ablation_brick.dir/bench_ablation_brick.cpp.o.d"
+  "bench_ablation_brick"
+  "bench_ablation_brick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_brick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cb.dir/bench_ablation_cb.cpp.o"
+  "CMakeFiles/bench_ablation_cb.dir/bench_ablation_cb.cpp.o.d"
+  "bench_ablation_cb"
+  "bench_ablation_cb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

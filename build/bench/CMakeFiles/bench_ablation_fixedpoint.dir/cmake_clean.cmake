@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fixedpoint.dir/bench_ablation_fixedpoint.cpp.o"
+  "CMakeFiles/bench_ablation_fixedpoint.dir/bench_ablation_fixedpoint.cpp.o.d"
+  "bench_ablation_fixedpoint"
+  "bench_ablation_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_np_resources.dir/bench_ablation_np_resources.cpp.o"
+  "CMakeFiles/bench_ablation_np_resources.dir/bench_ablation_np_resources.cpp.o.d"
+  "bench_ablation_np_resources"
+  "bench_ablation_np_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_np_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

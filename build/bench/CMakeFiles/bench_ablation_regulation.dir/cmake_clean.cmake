@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regulation.dir/bench_ablation_regulation.cpp.o"
+  "CMakeFiles/bench_ablation_regulation.dir/bench_ablation_regulation.cpp.o.d"
+  "bench_ablation_regulation"
+  "bench_ablation_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

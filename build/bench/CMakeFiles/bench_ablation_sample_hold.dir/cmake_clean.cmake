@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sample_hold.dir/bench_ablation_sample_hold.cpp.o"
+  "CMakeFiles/bench_ablation_sample_hold.dir/bench_ablation_sample_hold.cpp.o.d"
+  "bench_ablation_sample_hold"
+  "bench_ablation_sample_hold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sample_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

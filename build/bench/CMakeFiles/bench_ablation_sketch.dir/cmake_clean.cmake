@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sketch.dir/bench_ablation_sketch.cpp.o"
+  "CMakeFiles/bench_ablation_sketch.dir/bench_ablation_sketch.cpp.o.d"
+  "bench_ablation_sketch"
+  "bench_ablation_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_walkthrough.dir/bench_fig1_walkthrough.cpp.o"
+  "CMakeFiles/bench_fig1_walkthrough.dir/bench_fig1_walkthrough.cpp.o.d"
+  "bench_fig1_walkthrough"
+  "bench_fig1_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cv_vs_length.dir/bench_fig2_cv_vs_length.cpp.o"
+  "CMakeFiles/bench_fig2_cv_vs_length.dir/bench_fig2_cv_vs_length.cpp.o.d"
+  "bench_fig2_cv_vs_length"
+  "bench_fig2_cv_vs_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cv_vs_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cv_vs_b.dir/bench_fig3_cv_vs_b.cpp.o"
+  "CMakeFiles/bench_fig3_cv_vs_b.dir/bench_fig3_cv_vs_b.cpp.o.d"
+  "bench_fig3_cv_vs_b"
+  "bench_fig3_cv_vs_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cv_vs_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

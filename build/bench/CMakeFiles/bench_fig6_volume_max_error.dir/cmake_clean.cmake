@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_volume_max_error.dir/bench_fig6_volume_max_error.cpp.o"
+  "CMakeFiles/bench_fig6_volume_max_error.dir/bench_fig6_volume_max_error.cpp.o.d"
+  "bench_fig6_volume_max_error"
+  "bench_fig6_volume_max_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_volume_max_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

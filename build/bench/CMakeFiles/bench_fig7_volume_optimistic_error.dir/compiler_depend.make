@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_volume_optimistic_error.
+# This may be replaced when dependencies are built.

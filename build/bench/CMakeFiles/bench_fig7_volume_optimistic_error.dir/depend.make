@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_volume_optimistic_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_counter_growth.dir/bench_fig9_counter_growth.cpp.o"
+  "CMakeFiles/bench_fig9_counter_growth.dir/bench_fig9_counter_growth.cpp.o.d"
+  "bench_fig9_counter_growth"
+  "bench_fig9_counter_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_counter_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

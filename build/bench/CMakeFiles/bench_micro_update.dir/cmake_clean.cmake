@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_update.dir/bench_micro_update.cpp.o"
+  "CMakeFiles/bench_micro_update.dir/bench_micro_update.cpp.o.d"
+  "bench_micro_update"
+  "bench_micro_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_anls1.dir/bench_table3_anls1.cpp.o"
+  "CMakeFiles/bench_table3_anls1.dir/bench_table3_anls1.cpp.o.d"
+  "bench_table3_anls1"
+  "bench_table3_anls1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_anls1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

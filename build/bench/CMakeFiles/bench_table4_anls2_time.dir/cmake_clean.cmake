@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_anls2_time.dir/bench_table4_anls2_time.cpp.o"
+  "CMakeFiles/bench_table4_anls2_time.dir/bench_table4_anls2_time.cpp.o.d"
+  "bench_table4_anls2_time"
+  "bench_table4_anls2_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_anls2_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_np_throughput.dir/bench_table5_np_throughput.cpp.o"
+  "CMakeFiles/bench_table5_np_throughput.dir/bench_table5_np_throughput.cpp.o.d"
+  "bench_table5_np_throughput"
+  "bench_table5_np_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_np_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

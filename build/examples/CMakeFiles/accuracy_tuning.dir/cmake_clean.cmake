@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_tuning.dir/accuracy_tuning.cpp.o"
+  "CMakeFiles/accuracy_tuning.dir/accuracy_tuning.cpp.o.d"
+  "accuracy_tuning"
+  "accuracy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_monitoring.dir/continuous_monitoring.cpp.o"
+  "CMakeFiles/continuous_monitoring.dir/continuous_monitoring.cpp.o.d"
+  "continuous_monitoring"
+  "continuous_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

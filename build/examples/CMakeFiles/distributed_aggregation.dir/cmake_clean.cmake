@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_aggregation.dir/distributed_aggregation.cpp.o"
+  "CMakeFiles/distributed_aggregation.dir/distributed_aggregation.cpp.o.d"
+  "distributed_aggregation"
+  "distributed_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

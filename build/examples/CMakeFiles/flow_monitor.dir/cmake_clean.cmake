@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_monitor.dir/flow_monitor.cpp.o"
+  "CMakeFiles/flow_monitor.dir/flow_monitor.cpp.o.d"
+  "flow_monitor"
+  "flow_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_pipeline.dir/np_pipeline.cpp.o"
+  "CMakeFiles/np_pipeline.dir/np_pipeline.cpp.o.d"
+  "np_pipeline"
+  "np_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/disco.cpp" "src/core/CMakeFiles/disco_core.dir/disco.cpp.o" "gcc" "src/core/CMakeFiles/disco_core.dir/disco.cpp.o.d"
+  "/root/repo/src/core/disco_fixed.cpp" "src/core/CMakeFiles/disco_core.dir/disco_fixed.cpp.o" "gcc" "src/core/CMakeFiles/disco_core.dir/disco_fixed.cpp.o.d"
+  "/root/repo/src/core/disco_sketch.cpp" "src/core/CMakeFiles/disco_core.dir/disco_sketch.cpp.o" "gcc" "src/core/CMakeFiles/disco_core.dir/disco_sketch.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/disco_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/disco_core.dir/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/disco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_core.dir/disco.cpp.o"
+  "CMakeFiles/disco_core.dir/disco.cpp.o.d"
+  "CMakeFiles/disco_core.dir/disco_fixed.cpp.o"
+  "CMakeFiles/disco_core.dir/disco_fixed.cpp.o.d"
+  "CMakeFiles/disco_core.dir/disco_sketch.cpp.o"
+  "CMakeFiles/disco_core.dir/disco_sketch.cpp.o.d"
+  "CMakeFiles/disco_core.dir/theory.cpp.o"
+  "CMakeFiles/disco_core.dir/theory.cpp.o.d"
+  "libdisco_core.a"
+  "libdisco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

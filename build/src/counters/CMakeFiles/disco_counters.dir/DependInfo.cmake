@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/adaptive_netflow.cpp" "src/counters/CMakeFiles/disco_counters.dir/adaptive_netflow.cpp.o" "gcc" "src/counters/CMakeFiles/disco_counters.dir/adaptive_netflow.cpp.o.d"
+  "/root/repo/src/counters/anls.cpp" "src/counters/CMakeFiles/disco_counters.dir/anls.cpp.o" "gcc" "src/counters/CMakeFiles/disco_counters.dir/anls.cpp.o.d"
+  "/root/repo/src/counters/brick.cpp" "src/counters/CMakeFiles/disco_counters.dir/brick.cpp.o" "gcc" "src/counters/CMakeFiles/disco_counters.dir/brick.cpp.o.d"
+  "/root/repo/src/counters/counter_braids.cpp" "src/counters/CMakeFiles/disco_counters.dir/counter_braids.cpp.o" "gcc" "src/counters/CMakeFiles/disco_counters.dir/counter_braids.cpp.o.d"
+  "/root/repo/src/counters/sac.cpp" "src/counters/CMakeFiles/disco_counters.dir/sac.cpp.o" "gcc" "src/counters/CMakeFiles/disco_counters.dir/sac.cpp.o.d"
+  "/root/repo/src/counters/sd.cpp" "src/counters/CMakeFiles/disco_counters.dir/sd.cpp.o" "gcc" "src/counters/CMakeFiles/disco_counters.dir/sd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/disco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_counters.dir/adaptive_netflow.cpp.o"
+  "CMakeFiles/disco_counters.dir/adaptive_netflow.cpp.o.d"
+  "CMakeFiles/disco_counters.dir/anls.cpp.o"
+  "CMakeFiles/disco_counters.dir/anls.cpp.o.d"
+  "CMakeFiles/disco_counters.dir/brick.cpp.o"
+  "CMakeFiles/disco_counters.dir/brick.cpp.o.d"
+  "CMakeFiles/disco_counters.dir/counter_braids.cpp.o"
+  "CMakeFiles/disco_counters.dir/counter_braids.cpp.o.d"
+  "CMakeFiles/disco_counters.dir/sac.cpp.o"
+  "CMakeFiles/disco_counters.dir/sac.cpp.o.d"
+  "CMakeFiles/disco_counters.dir/sd.cpp.o"
+  "CMakeFiles/disco_counters.dir/sd.cpp.o.d"
+  "libdisco_counters.a"
+  "libdisco_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdisco_counters.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_flowtable.dir/monitor.cpp.o"
+  "CMakeFiles/disco_flowtable.dir/monitor.cpp.o.d"
+  "CMakeFiles/disco_flowtable.dir/report_io.cpp.o"
+  "CMakeFiles/disco_flowtable.dir/report_io.cpp.o.d"
+  "CMakeFiles/disco_flowtable.dir/sharded_monitor.cpp.o"
+  "CMakeFiles/disco_flowtable.dir/sharded_monitor.cpp.o.d"
+  "libdisco_flowtable.a"
+  "libdisco_flowtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_flowtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for disco_flowtable.
+# This may be replaced when dependencies are built.

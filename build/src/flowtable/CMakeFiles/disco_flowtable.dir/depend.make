@@ -1,0 +1,2 @@
+# Empty dependencies file for disco_flowtable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/disco_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/disco_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/np_system.cpp" "src/sim/CMakeFiles/disco_sim.dir/np_system.cpp.o" "gcc" "src/sim/CMakeFiles/disco_sim.dir/np_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/disco_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/disco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/disco_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/disco_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/disco_sim.dir/np_system.cpp.o"
+  "CMakeFiles/disco_sim.dir/np_system.cpp.o.d"
+  "libdisco_sim.a"
+  "libdisco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

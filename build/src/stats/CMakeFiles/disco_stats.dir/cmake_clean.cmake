@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_stats.dir/error.cpp.o"
+  "CMakeFiles/disco_stats.dir/error.cpp.o.d"
+  "CMakeFiles/disco_stats.dir/experiment.cpp.o"
+  "CMakeFiles/disco_stats.dir/experiment.cpp.o.d"
+  "CMakeFiles/disco_stats.dir/methods.cpp.o"
+  "CMakeFiles/disco_stats.dir/methods.cpp.o.d"
+  "CMakeFiles/disco_stats.dir/table.cpp.o"
+  "CMakeFiles/disco_stats.dir/table.cpp.o.d"
+  "libdisco_stats.a"
+  "libdisco_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for disco_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_trace.dir/distributions.cpp.o"
+  "CMakeFiles/disco_trace.dir/distributions.cpp.o.d"
+  "CMakeFiles/disco_trace.dir/pcap.cpp.o"
+  "CMakeFiles/disco_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/disco_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/disco_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/disco_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/disco_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/disco_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/disco_trace.dir/trace_stats.cpp.o.d"
+  "libdisco_trace.a"
+  "libdisco_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

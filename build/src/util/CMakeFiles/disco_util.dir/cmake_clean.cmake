@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_util.dir/histogram.cpp.o"
+  "CMakeFiles/disco_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/disco_util.dir/log_table.cpp.o"
+  "CMakeFiles/disco_util.dir/log_table.cpp.o.d"
+  "CMakeFiles/disco_util.dir/math.cpp.o"
+  "CMakeFiles/disco_util.dir/math.cpp.o.d"
+  "libdisco_util.a"
+  "libdisco_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

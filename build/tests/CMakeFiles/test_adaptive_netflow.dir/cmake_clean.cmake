@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_netflow.dir/test_adaptive_netflow.cpp.o"
+  "CMakeFiles/test_adaptive_netflow.dir/test_adaptive_netflow.cpp.o.d"
+  "test_adaptive_netflow"
+  "test_adaptive_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anls.dir/test_anls.cpp.o"
+  "CMakeFiles/test_anls.dir/test_anls.cpp.o.d"
+  "test_anls"
+  "test_anls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

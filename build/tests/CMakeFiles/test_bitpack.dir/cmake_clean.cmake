@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitpack.dir/test_bitpack.cpp.o"
+  "CMakeFiles/test_bitpack.dir/test_bitpack.cpp.o.d"
+  "test_bitpack"
+  "test_bitpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

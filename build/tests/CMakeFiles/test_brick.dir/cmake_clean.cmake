@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brick.dir/test_brick.cpp.o"
+  "CMakeFiles/test_brick.dir/test_brick.cpp.o.d"
+  "test_brick"
+  "test_brick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

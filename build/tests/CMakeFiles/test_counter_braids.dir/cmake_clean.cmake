@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter_braids.dir/test_counter_braids.cpp.o"
+  "CMakeFiles/test_counter_braids.dir/test_counter_braids.cpp.o.d"
+  "test_counter_braids"
+  "test_counter_braids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter_braids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disco_fixed.dir/test_disco_fixed.cpp.o"
+  "CMakeFiles/test_disco_fixed.dir/test_disco_fixed.cpp.o.d"
+  "test_disco_fixed"
+  "test_disco_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disco_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

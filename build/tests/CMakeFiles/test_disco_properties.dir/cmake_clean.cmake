@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disco_properties.dir/test_disco_properties.cpp.o"
+  "CMakeFiles/test_disco_properties.dir/test_disco_properties.cpp.o.d"
+  "test_disco_properties"
+  "test_disco_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disco_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disco_sketch.dir/test_disco_sketch.cpp.o"
+  "CMakeFiles/test_disco_sketch.dir/test_disco_sketch.cpp.o.d"
+  "test_disco_sketch"
+  "test_disco_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disco_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

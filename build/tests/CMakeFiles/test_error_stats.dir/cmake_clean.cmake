@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_stats.dir/test_error_stats.cpp.o"
+  "CMakeFiles/test_error_stats.dir/test_error_stats.cpp.o.d"
+  "test_error_stats"
+  "test_error_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

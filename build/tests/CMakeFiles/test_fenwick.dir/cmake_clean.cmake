@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fenwick.dir/test_fenwick.cpp.o"
+  "CMakeFiles/test_fenwick.dir/test_fenwick.cpp.o.d"
+  "test_fenwick"
+  "test_fenwick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fenwick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

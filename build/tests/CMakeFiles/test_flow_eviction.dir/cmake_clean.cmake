@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_eviction.dir/test_flow_eviction.cpp.o"
+  "CMakeFiles/test_flow_eviction.dir/test_flow_eviction.cpp.o.d"
+  "test_flow_eviction"
+  "test_flow_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

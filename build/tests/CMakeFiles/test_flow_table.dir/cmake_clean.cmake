@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_table.dir/test_flow_table.cpp.o"
+  "CMakeFiles/test_flow_table.dir/test_flow_table.cpp.o.d"
+  "test_flow_table"
+  "test_flow_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_table_v6.dir/test_flow_table_v6.cpp.o"
+  "CMakeFiles/test_flow_table_v6.dir/test_flow_table_v6.cpp.o.d"
+  "test_flow_table_v6"
+  "test_flow_table_v6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_table_v6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

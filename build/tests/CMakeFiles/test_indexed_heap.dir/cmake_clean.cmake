@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indexed_heap.dir/test_indexed_heap.cpp.o"
+  "CMakeFiles/test_indexed_heap.dir/test_indexed_heap.cpp.o.d"
+  "test_indexed_heap"
+  "test_indexed_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indexed_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_table.dir/test_log_table.cpp.o"
+  "CMakeFiles/test_log_table.dir/test_log_table.cpp.o.d"
+  "test_log_table"
+  "test_log_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_ci.dir/test_merge_ci.cpp.o"
+  "CMakeFiles/test_merge_ci.dir/test_merge_ci.cpp.o.d"
+  "test_merge_ci"
+  "test_merge_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_lifecycle.dir/test_monitor_lifecycle.cpp.o"
+  "CMakeFiles/test_monitor_lifecycle.dir/test_monitor_lifecycle.cpp.o.d"
+  "test_monitor_lifecycle"
+  "test_monitor_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

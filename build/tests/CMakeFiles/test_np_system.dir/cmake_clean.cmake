@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_np_system.dir/test_np_system.cpp.o"
+  "CMakeFiles/test_np_system.dir/test_np_system.cpp.o.d"
+  "test_np_system"
+  "test_np_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_np_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

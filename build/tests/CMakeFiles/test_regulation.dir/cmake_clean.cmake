@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regulation.dir/test_regulation.cpp.o"
+  "CMakeFiles/test_regulation.dir/test_regulation.cpp.o.d"
+  "test_regulation"
+  "test_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_io.dir/test_report_io.cpp.o"
+  "CMakeFiles/test_report_io.dir/test_report_io.cpp.o.d"
+  "test_report_io"
+  "test_report_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

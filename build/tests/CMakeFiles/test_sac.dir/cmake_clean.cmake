@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sac.dir/test_sac.cpp.o"
+  "CMakeFiles/test_sac.dir/test_sac.cpp.o.d"
+  "test_sac"
+  "test_sac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample_hold.dir/test_sample_hold.cpp.o"
+  "CMakeFiles/test_sample_hold.dir/test_sample_hold.cpp.o.d"
+  "test_sample_hold"
+  "test_sample_hold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

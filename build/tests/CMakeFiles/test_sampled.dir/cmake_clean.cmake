@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampled.dir/test_sampled.cpp.o"
+  "CMakeFiles/test_sampled.dir/test_sampled.cpp.o.d"
+  "test_sampled"
+  "test_sampled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

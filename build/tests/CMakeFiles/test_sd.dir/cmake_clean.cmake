@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sd.dir/test_sd.cpp.o"
+  "CMakeFiles/test_sd.dir/test_sd.cpp.o.d"
+  "test_sd"
+  "test_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

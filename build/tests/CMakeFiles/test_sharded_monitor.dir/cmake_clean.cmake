@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_monitor.dir/test_sharded_monitor.cpp.o"
+  "CMakeFiles/test_sharded_monitor.dir/test_sharded_monitor.cpp.o.d"
+  "test_sharded_monitor"
+  "test_sharded_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statistical_validation.dir/test_statistical_validation.cpp.o"
+  "CMakeFiles/test_statistical_validation.dir/test_statistical_validation.cpp.o.d"
+  "test_statistical_validation"
+  "test_statistical_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statistical_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

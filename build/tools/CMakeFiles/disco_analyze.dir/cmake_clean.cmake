@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_analyze.dir/disco_analyze.cpp.o"
+  "CMakeFiles/disco_analyze.dir/disco_analyze.cpp.o.d"
+  "disco_analyze"
+  "disco_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

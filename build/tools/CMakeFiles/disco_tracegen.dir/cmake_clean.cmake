@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_tracegen.dir/disco_tracegen.cpp.o"
+  "CMakeFiles/disco_tracegen.dir/disco_tracegen.cpp.o.d"
+  "disco_tracegen"
+  "disco_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
