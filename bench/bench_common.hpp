@@ -9,16 +9,46 @@
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "stats/experiment.hpp"
 #include "stats/table.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_stats.hpp"
 
 namespace disco::bench {
+
+/// Strips `--telemetry` from argv if present and enables runtime telemetry
+/// (the metrics stay zeroed otherwise -- see src/telemetry/metrics.hpp).
+/// Returns whether the flag was given, so mains can pair it with
+/// dump_telemetry_snapshot() after the workload.  Safe to call before
+/// benchmark::Initialize, which rejects flags it does not know.
+inline bool parse_telemetry_flag(int* argc, char** argv) {
+  bool found = false;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      found = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  if (found) telemetry::set_enabled(true);
+  return found;
+}
+
+/// Prints the process-wide metric registry as JSON (docs/telemetry.md has
+/// the schema).  With telemetry compiled out this prints an empty snapshot.
+inline void dump_telemetry_snapshot(std::ostream& out = std::cout) {
+  out << telemetry::to_json(telemetry::Registry::global().snapshot()) << "\n";
+}
 
 /// Global scale multiplier from DISCO_BENCH_SCALE (default 1.0).
 inline double scale() {

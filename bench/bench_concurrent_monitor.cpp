@@ -64,8 +64,9 @@ RunResult run(unsigned threads, std::uint64_t packets_per_thread) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disco;
+  const bool telemetry = bench::parse_telemetry_flag(&argc, argv);
   bench::print_title("sharded monitor scaling on the host CPU",
                      "software analogue of Table V's multi-ME scaling");
 
@@ -95,5 +96,6 @@ int main() {
                  "oversubscription, not scaling -- run on a multicore host\n"
                  "to see the near-linear shape of the paper's ME scaling.)\n";
   }
+  if (telemetry) bench::dump_telemetry_snapshot();
   return 0;
 }

@@ -1,15 +1,24 @@
 // Micro-benchmark: single-counter update throughput of every method, on an
 // identical mixed-length packet stream.  Not a paper table -- this is the
 // engineering view of the per-packet cost each scheme pays on a host CPU.
+//
+// Pass --telemetry to enable runtime telemetry and print the metric
+// registry as JSON after the run (the monitor-path benches below populate
+// ingest/eviction/shard counters and the probe-length histogram).  Without
+// the flag telemetry stays runtime-disabled, so the counter micro-loops
+// measure the same hot path as a build without instrumentation.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/disco.hpp"
 #include "core/disco_fixed.hpp"
 #include "counters/anls.hpp"
 #include "counters/sac.hpp"
 #include "counters/sd.hpp"
+#include "flowtable/monitor.hpp"
+#include "flowtable/sharded_monitor.hpp"
 #include "util/log_table.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -110,13 +119,77 @@ void BM_BurstAggregated(benchmark::State& state) {
   }
 }
 
+// --- full monitor path ------------------------------------------------------
+// Flow table lookup + volume update + size update per packet: what one
+// ingest costs end to end, and the workload that feeds the telemetry
+// snapshot (ingest/eviction counters, occupancy, probe-length histogram).
+
+std::vector<disco::flowtable::FiveTuple> sample_tuples(std::size_t n) {
+  std::vector<disco::flowtable::FiveTuple> tuples(n);
+  disco::util::Rng rng(11);
+  for (auto& t : tuples) {
+    t.src_ip = static_cast<std::uint32_t>(rng.next());
+    t.dst_ip = static_cast<std::uint32_t>(rng.next());
+    t.src_port = static_cast<std::uint16_t>(rng.uniform_u64(1024, 65535));
+    t.dst_port = 443;
+    t.protocol = 6;
+  }
+  return tuples;
+}
+
+void BM_MonitorIngest(benchmark::State& state) {
+  disco::flowtable::FlowMonitor monitor(
+      {.max_flows = 8192, .counter_bits = kBits, .max_flow_bytes = kMaxFlow});
+  const auto lens = packet_lengths();
+  const auto tuples = sample_tuples(4096);
+  std::uint64_t now_ns = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    now_ns += 1000;
+    benchmark::DoNotOptimize(monitor.ingest(tuples[i & 4095], lens[i & 4095], now_ns));
+    // Periodic idle eviction, as a monitoring appliance would run it; the
+    // 2 ms timeout against the 4 ms tuple-cycle period guarantees churn.
+    if ((++i & 0xffff) == 0) monitor.evict_idle(now_ns, 2'000'000);
+  }
+  // Evict the survivors so eviction totals are populated even on short runs.
+  monitor.evict_idle(now_ns + 1'000'000, 0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+void BM_ShardedMonitorIngest(benchmark::State& state) {
+  disco::flowtable::ShardedFlowMonitor monitor(
+      {.base = {.max_flows = 8192, .counter_bits = kBits, .max_flow_bytes = kMaxFlow},
+       .shards = 8});
+  const auto lens = packet_lengths();
+  const auto tuples = sample_tuples(4096);
+  std::uint64_t now_ns = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    now_ns += 1000;
+    benchmark::DoNotOptimize(monitor.ingest(tuples[i & 4095], lens[i & 4095], now_ns));
+    ++i;
+  }
+  monitor.evict_idle(now_ns + 1'000'000, 0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
 BENCHMARK(BM_DiscoDouble);
 BENCHMARK(BM_DiscoFixedPoint);
 BENCHMARK(BM_Sac);
 BENCHMARK(BM_AnlsII);
 BENCHMARK(BM_SdExact);
 BENCHMARK(BM_BurstAggregated);
+BENCHMARK(BM_MonitorIngest);
+BENCHMARK(BM_ShardedMonitorIngest);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool telemetry = disco::bench::parse_telemetry_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (telemetry) disco::bench::dump_telemetry_snapshot();
+  return 0;
+}

@@ -7,8 +7,9 @@
 #include "bench_common.hpp"
 #include "sim/np_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disco;
+  const bool telemetry = bench::parse_telemetry_flag(&argc, argv);
   bench::print_title("throughput on the simulated IXP2850", "paper Table V");
 
   sim::NpConfig base;
@@ -54,5 +55,6 @@ int main() {
   std::cout << "\npaper: \"considering the worst case where all the packets\n"
                "are 64B and arrive without burst, 8 MEs are needed to achieve\n"
                "10Gbps throughput\" -- reproduced above.\n";
+  if (telemetry) bench::dump_telemetry_snapshot();
   return 0;
 }

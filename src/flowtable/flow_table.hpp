@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "flowtable/flow_key.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
 
 namespace disco::flowtable {
 
@@ -42,6 +44,8 @@ class BasicFlowTable {
     buckets_.resize(buckets);
     mask_ = buckets - 1;
     keys_.reserve(capacity);
+    probe_hist_ =
+        &telemetry::Registry::global().histogram("flow_table.probe_length");
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -53,10 +57,11 @@ class BasicFlowTable {
   [[nodiscard]] std::optional<std::uint32_t> insert_or_get(const Key& key) {
     ++lookups_;
     std::size_t i = probe_start(key);
-    for (;;) {
+    for (std::uint64_t len = 1;; ++len) {
       ++probes_;
       Bucket& b = buckets_[i];
       if (b.slot == kEmpty) {
+        probe_hist_->record(len);
         if (size_ >= capacity_) {
           ++rejected_;
           return std::nullopt;
@@ -77,7 +82,10 @@ class BasicFlowTable {
         ++size_;
         return slot;
       }
-      if (b.key == key) return b.slot;
+      if (b.key == key) {
+        probe_hist_->record(len);
+        return b.slot;
+      }
       i = (i + 1) & mask_;
     }
   }
@@ -86,11 +94,17 @@ class BasicFlowTable {
   [[nodiscard]] std::optional<std::uint32_t> find(const Key& key) const noexcept {
     ++lookups_;
     std::size_t i = probe_start(key);
-    for (;;) {
+    for (std::uint64_t len = 1;; ++len) {
       ++probes_;
       const Bucket& b = buckets_[i];
-      if (b.slot == kEmpty) return std::nullopt;
-      if (b.key == key) return b.slot;
+      if (b.slot == kEmpty) {
+        probe_hist_->record(len);
+        return std::nullopt;
+      }
+      if (b.key == key) {
+        probe_hist_->record(len);
+        return b.slot;
+      }
       i = (i + 1) & mask_;
     }
   }
@@ -102,11 +116,17 @@ class BasicFlowTable {
   std::optional<std::uint32_t> erase(const Key& key) noexcept {
     ++lookups_;
     std::size_t i = probe_start(key);
-    for (;;) {
+    for (std::uint64_t len = 1;; ++len) {
       ++probes_;
       Bucket& b = buckets_[i];
-      if (b.slot == kEmpty) return std::nullopt;
-      if (b.key == key) break;
+      if (b.slot == kEmpty) {
+        probe_hist_->record(len);
+        return std::nullopt;
+      }
+      if (b.key == key) {
+        probe_hist_->record(len);
+        break;
+      }
       i = (i + 1) & mask_;
     }
     const std::uint32_t freed = buckets_[i].slot;
@@ -201,6 +221,9 @@ class BasicFlowTable {
   mutable std::uint64_t probes_ = 0;
   mutable std::uint64_t lookups_ = 0;
   std::uint64_t rejected_ = 0;
+  // Shared per-process probe-length distribution (docs/telemetry.md); the
+  // registry owns it, so tables stay freely copyable and movable.
+  telemetry::LatencyHistogram* probe_hist_ = nullptr;
 };
 
 /// The IPv4 5-tuple table used by FlowMonitor.

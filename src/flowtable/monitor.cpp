@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace disco::flowtable {
 namespace {
 
@@ -54,16 +56,29 @@ FlowMonitor::FlowMonitor(const Config& config)
       size_(config.max_flows, config.counter_bits,
             core::DiscoParams::for_budget(config.max_flow_packets, config.counter_bits)),
       last_seen_ns_(config.max_flows, 0),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  auto& registry = telemetry::Registry::global();
+  const std::string& prefix = config_.telemetry_prefix;
+  metrics_.ingests = &registry.counter(prefix + ".ingest_total");
+  metrics_.rejects = &registry.counter(prefix + ".ingest_rejected_total");
+  metrics_.evictions = &registry.counter(prefix + ".evictions_total");
+  metrics_.queries = &registry.counter(prefix + ".queries_total");
+  metrics_.occupancy = &registry.gauge(prefix + ".table_occupancy");
+}
 
 bool FlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
                          std::uint64_t now_ns) {
   const auto slot = table_.insert_or_get(flow);
-  if (!slot) return false;
+  if (!slot) {
+    metrics_.rejects->inc();
+    return false;
+  }
   volume_.add(*slot, length, rng_);
   size_.add(*slot, 1, rng_);
   last_seen_ns_[*slot] = now_ns;
   ++packets_seen_;
+  metrics_.ingests->inc();
+  metrics_.occupancy->set(static_cast<std::int64_t>(table_.size()));
   return true;
 }
 
@@ -87,10 +102,13 @@ std::vector<FlowMonitor::FlowEstimate> FlowMonitor::evict_idle(
       last_seen_ns_[*slot] = 0;
     }
   }
+  metrics_.evictions->inc(evicted.size());
+  metrics_.occupancy->set(static_cast<std::int64_t>(table_.size()));
   return evicted;
 }
 
 std::optional<FlowMonitor::FlowEstimate> FlowMonitor::query(const FiveTuple& flow) const {
+  metrics_.queries->inc();
   const auto slot = table_.find(flow);
   if (!slot) return std::nullopt;
   return FlowEstimate{flow, volume_.estimate(*slot), size_.estimate(*slot)};
@@ -140,6 +158,7 @@ FlowMonitor::EpochReport FlowMonitor::rotate() {
   size_.reset();
   std::fill(last_seen_ns_.begin(), last_seen_ns_.end(), 0);
   ++epoch_;
+  metrics_.occupancy->set(0);
   return report;
 }
 
@@ -207,6 +226,7 @@ FlowMonitor FlowMonitor::restore(std::istream& in) {
     monitor.size_.set_value(*slot, size_value);
     monitor.last_seen_ns_[*slot] = last_seen;
   }
+  monitor.metrics_.occupancy->set(static_cast<std::int64_t>(monitor.table_.size()));
   return monitor;
 }
 

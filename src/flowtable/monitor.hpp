@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/disco.hpp"
 #include "flowtable/flow_table.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/packet.hpp"
 #include "util/rng.hpp"
 
@@ -34,6 +36,10 @@ class FlowMonitor {
     std::uint64_t max_flow_bytes = std::uint64_t{1} << 32;
     std::uint64_t max_flow_packets = std::uint64_t{1} << 24;
     std::uint64_t seed = 0x5eed;
+    /// Registry prefix for this monitor's metrics (docs/telemetry.md).
+    /// Instances sharing a prefix share counters; ShardedFlowMonitor gives
+    /// each shard its own.  Not persisted by snapshot()/restore().
+    std::string telemetry_prefix = "flow_monitor";
   };
 
   explicit FlowMonitor(const Config& config);
@@ -111,6 +117,16 @@ class FlowMonitor {
   [[nodiscard]] static FlowMonitor restore(std::istream& in);
 
  private:
+  /// Registry-owned metrics under config_.telemetry_prefix; plain pointers
+  /// keep the monitor movable (restore() returns by value).
+  struct Metrics {
+    telemetry::Counter* ingests = nullptr;
+    telemetry::Counter* rejects = nullptr;
+    telemetry::Counter* evictions = nullptr;
+    telemetry::Counter* queries = nullptr;
+    telemetry::Gauge* occupancy = nullptr;
+  };
+
   Config config_;
   FlowTable table_;
   core::DiscoArray volume_;
@@ -119,6 +135,7 @@ class FlowMonitor {
   util::Rng rng_;
   std::uint64_t packets_seen_ = 0;
   std::uint64_t epoch_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace disco::flowtable

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/registry.hpp"
 
 namespace disco::flowtable {
 
@@ -9,6 +12,7 @@ ShardedFlowMonitor::ShardedFlowMonitor(const Config& config) {
   if (config.shards == 0 || config.shards > 1024) {
     throw std::invalid_argument("ShardedFlowMonitor: shards must be in [1, 1024]");
   }
+  auto& registry = telemetry::Registry::global();
   shards_.reserve(config.shards);
   for (unsigned s = 0; s < config.shards; ++s) {
     FlowMonitor::Config shard_config = config.base;
@@ -18,15 +22,37 @@ ShardedFlowMonitor::ShardedFlowMonitor(const Config& config) {
     shard_config.max_flows =
         std::max<std::size_t>(16, (config.base.max_flows / config.shards) * 5 / 4);
     shard_config.seed = config.base.seed + 0x9e3779b97f4a7c15ULL * (s + 1);
+    shard_config.telemetry_prefix =
+        "sharded_monitor.shard_" + std::to_string(s);
     shards_.push_back(std::make_unique<Shard>(shard_config));
+    shards_.back()->ingests =
+        &registry.counter(shard_config.telemetry_prefix + ".ingest_total");
+    shards_.back()->contention = &registry.counter(
+        shard_config.telemetry_prefix + ".lock_contention_total");
   }
 }
 
 bool ShardedFlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
                                 std::uint64_t now_ns) {
   Shard& shard = *shards_[shard_of(flow)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  // try-lock-then-lock makes cross-thread contention countable without
+  // slowing the uncontended path (one CAS either way).
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contention->inc();
+    lock.lock();
+  }
   return shard.monitor.ingest(flow, length, now_ns);
+}
+
+std::uint64_t ShardedFlowMonitor::shard_ingests(unsigned shard) const {
+  return shards_.at(shard)->ingests->value();
+}
+
+std::uint64_t ShardedFlowMonitor::lock_contentions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->contention->value();
+  return total;
 }
 
 std::optional<FlowMonitor::FlowEstimate> ShardedFlowMonitor::query(

@@ -15,6 +15,12 @@
 // Sharding uses the hash's HIGH bits while the flow table's probe sequence
 // uses the LOW bits, so shard choice and in-table placement stay
 // decorrelated.
+//
+// Telemetry: each shard registers its monitor metrics under
+// `sharded_monitor.shard_<i>.*`, plus a `lock_contention_total` counter fed
+// by try-lock-then-lock on the ingest path -- the software analogue of the
+// paper's MicroEngines contending for an SRAM channel.  See
+// docs/telemetry.md for the catalogue.
 #pragma once
 
 #include <memory>
@@ -64,11 +70,21 @@ class ShardedFlowMonitor {
     return static_cast<unsigned>(shards_.size());
   }
 
+  /// Packets ingested by one shard (its `ingest_total` counter).  Zero when
+  /// telemetry is compiled out or was disabled during the run.
+  [[nodiscard]] std::uint64_t shard_ingests(unsigned shard) const;
+
+  /// Ingest calls that found their shard's mutex already held (summed over
+  /// shards) -- the contention signal to tune `shards` against.
+  [[nodiscard]] std::uint64_t lock_contentions() const;
+
  private:
   struct Shard {
     explicit Shard(const FlowMonitor::Config& config) : monitor(config) {}
     mutable std::mutex mutex;
     FlowMonitor monitor;
+    telemetry::Counter* ingests = nullptr;     ///< same counter the monitor bumps
+    telemetry::Counter* contention = nullptr;
   };
 
   [[nodiscard]] std::size_t shard_of(const FiveTuple& flow) const noexcept {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/disco_fixed.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_stats.hpp"
 #include "util/math.hpp"
@@ -63,6 +65,15 @@ NpResult run_np_simulation_on_trace(const NpConfig& config,
   SimTime makespan = 0;
   std::uint64_t sram_updates = 0;
 
+  // Per-stage packet counters of the TGEN -> ring -> DISCO ME -> SRAM
+  // pipeline (docs/telemetry.md).
+  auto& registry = telemetry::Registry::global();
+  telemetry::Counter& stage_ring_pops = registry.counter("np.ring_pop_total");
+  telemetry::Counter& stage_updates = registry.counter("np.counter_update_total");
+  telemetry::Counter& stage_accumulates =
+      registry.counter("np.burst_accumulate_total");
+  telemetry::Counter& stage_sram_ops = registry.counter("np.sram_op_total");
+
   auto charge_counter_update = [&](std::size_t me, SimTime ready,
                                    std::uint32_t flow, std::uint64_t amount) {
     // The compute phase occupies the ME.  SRAM *latency* is hidden by the
@@ -77,6 +88,8 @@ NpResult run_np_simulation_on_trace(const NpConfig& config,
     }
     const SimTime last_issue_start = completion - costs.sram_latency_ns;
     ++sram_updates;
+    stage_updates.inc();
+    stage_sram_ops.inc(static_cast<std::uint64_t>(costs.sram_ops_per_update));
     counters[flow] = logic.update(counters[flow], amount, rng);
     me_free[me] = std::max(compute_done, last_issue_start);
     makespan = std::max(makespan, completion);
@@ -88,6 +101,7 @@ NpResult run_np_simulation_on_trace(const NpConfig& config,
     const std::size_t me = static_cast<std::size_t>(
         std::min_element(me_free.begin(), me_free.end()) - me_free.begin());
     const SimTime popped = ring.reserve(me_free[me]);
+    stage_ring_pops.inc();
 
     if (!config.burst_aggregation) {
       charge_counter_update(me, popped, p.flow_id, p.length);
@@ -97,6 +111,7 @@ NpResult run_np_simulation_on_trace(const NpConfig& config,
     // Burst aggregation: accumulate in local memory; flush at burst end
     // (next packet belongs to a different flow) with one discounted update.
     pending[p.flow_id] += p.length;
+    stage_accumulates.inc();
     const bool burst_ends =
         idx + 1 >= packets.size() || packets[idx + 1].flow_id != p.flow_id;
     if (burst_ends) {

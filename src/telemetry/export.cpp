@@ -1,0 +1,350 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace disco::telemetry {
+namespace {
+
+// Doubles print with enough digits to round-trip exactly (%.17g collapses to
+// short forms for the common integral quantiles).
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// --- minimal JSON reader -----------------------------------------------------
+// Just enough JSON to invert to_json: objects, arrays, strings, numbers.
+// Kept private to this translation unit; the public surface is
+// snapshot_from_json only.
+
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("snapshot_from_json: " + std::string(what) +
+                             " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            code = code * 16;
+            const char h = text_[pos_++];
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Metric names are ASCII; only the control-character escapes that
+          // append_json_string can emit need decoding.
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v.number);
+    if (ec != std::errc() || ptr != text_.data() + pos_) fail("malformed number");
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double require_number(const JsonValue& parent, const std::string& key) {
+  const JsonValue* v = parent.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error("snapshot_from_json: missing numeric field '" + key + "'");
+  }
+  return v->number;
+}
+
+std::uint64_t require_u64(const JsonValue& parent, const std::string& key) {
+  return static_cast<std::uint64_t>(require_number(parent, key));
+}
+
+}  // namespace
+
+const char* to_string(MetricType type) noexcept {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+std::string to_text(const Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    out << to_string(m.type) << ' ' << m.name << ' ';
+    if (m.type == MetricType::kHistogram) {
+      out << "count=" << m.histogram.count << " sum=" << m.histogram.sum
+          << " p50=" << fmt_double(m.histogram.p50)
+          << " p95=" << fmt_double(m.histogram.p95)
+          << " p99=" << fmt_double(m.histogram.p99);
+    } else {
+      out << m.value;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first_metric = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    out += first_metric ? "\n" : ",\n";
+    first_metric = false;
+    out += "    {\"name\": ";
+    append_json_string(out, m.name);
+    out += ", \"type\": \"";
+    out += to_string(m.type);
+    out += '"';
+    if (m.type == MetricType::kHistogram) {
+      out += ", \"count\": " + std::to_string(m.histogram.count);
+      out += ", \"sum\": " + std::to_string(m.histogram.sum);
+      out += ", \"p50\": " + fmt_double(m.histogram.p50);
+      out += ", \"p95\": " + fmt_double(m.histogram.p95);
+      out += ", \"p99\": " + fmt_double(m.histogram.p99);
+      out += ", \"buckets\": [";
+      bool first_bucket = true;
+      for (const auto& b : m.histogram.buckets) {
+        if (!first_bucket) out += ", ";
+        first_bucket = false;
+        out += "{\"le\": " + std::to_string(b.upper) +
+               ", \"count\": " + std::to_string(b.count) + '}';
+      }
+      out += ']';
+    } else {
+      out += ", \"value\": " + std::to_string(m.value);
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}";
+  return out;
+}
+
+Snapshot snapshot_from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("snapshot_from_json: root is not an object");
+  }
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("snapshot_from_json: missing 'metrics' array");
+  }
+  Snapshot snapshot;
+  for (const JsonValue& entry : metrics->array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      throw std::runtime_error("snapshot_from_json: metric entry is not an object");
+    }
+    MetricSnapshot m;
+    const JsonValue* name = entry.find("name");
+    const JsonValue* type = entry.find("type");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        type == nullptr || type->kind != JsonValue::Kind::kString) {
+      throw std::runtime_error("snapshot_from_json: metric missing name/type");
+    }
+    m.name = name->string;
+    if (type->string == "counter") {
+      m.type = MetricType::kCounter;
+    } else if (type->string == "gauge") {
+      m.type = MetricType::kGauge;
+    } else if (type->string == "histogram") {
+      m.type = MetricType::kHistogram;
+    } else {
+      throw std::runtime_error("snapshot_from_json: unknown metric type '" +
+                               type->string + "'");
+    }
+    if (m.type == MetricType::kHistogram) {
+      m.histogram.count = require_u64(entry, "count");
+      m.histogram.sum = require_u64(entry, "sum");
+      m.histogram.p50 = require_number(entry, "p50");
+      m.histogram.p95 = require_number(entry, "p95");
+      m.histogram.p99 = require_number(entry, "p99");
+      const JsonValue* buckets = entry.find("buckets");
+      if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray) {
+        throw std::runtime_error("snapshot_from_json: histogram missing buckets");
+      }
+      for (const JsonValue& b : buckets->array) {
+        m.histogram.buckets.push_back(
+            {require_u64(b, "le"), require_u64(b, "count")});
+      }
+    } else {
+      m.value = static_cast<std::int64_t>(require_number(entry, "value"));
+    }
+    snapshot.metrics.push_back(std::move(m));
+  }
+  return snapshot;
+}
+
+}  // namespace disco::telemetry

@@ -1,0 +1,60 @@
+// The compiled-out telemetry configuration.  This file is built with
+// DISCO_TELEMETRY=0 forced on the command line (see tests/CMakeLists.txt),
+// so it exercises the stub primitives in every build -- including the
+// default one where the rest of the repo has telemetry compiled in.  It
+// deliberately includes only telemetry headers: the stubs are header-only,
+// and the exporters (export.cpp) are configuration-independent.
+#include <gtest/gtest.h>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
+
+static_assert(DISCO_TELEMETRY == 0,
+              "test_telemetry_off must be compiled with DISCO_TELEMETRY=0");
+
+namespace disco {
+namespace {
+
+TEST(TelemetryOff, EnableIsIgnored) {
+  telemetry::set_enabled(true);
+  EXPECT_FALSE(telemetry::enabled());
+}
+
+TEST(TelemetryOff, PrimitivesAreNoOps) {
+  telemetry::set_enabled(true);
+  telemetry::Counter c;
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+  telemetry::Gauge g;
+  g.set(42);
+  g.add(1);
+  EXPECT_EQ(g.value(), 0);
+  telemetry::LatencyHistogram h;
+  h.record(123);
+  { const telemetry::ScopeTimer timer(h); }
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(TelemetryOff, RegistryHandsOutStubsAndEmptySnapshots) {
+  auto& registry = telemetry::Registry::global();
+  registry.counter("a.total").inc(5);
+  registry.gauge("a.level").set(5);
+  registry.histogram("a.dist").record(5);
+  const telemetry::Snapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.metrics.empty());
+  registry.reset_values();  // must be callable
+}
+
+TEST(TelemetryOff, EmptySnapshotStillExportsValidJson) {
+  const telemetry::Snapshot empty;
+  const std::string json = telemetry::to_json(empty);
+  const telemetry::Snapshot parsed = telemetry::snapshot_from_json(json);
+  EXPECT_TRUE(parsed.metrics.empty());
+  EXPECT_EQ(telemetry::to_text(empty), "");
+}
+
+}  // namespace
+}  // namespace disco

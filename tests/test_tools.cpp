@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"  // defines the DISCO_TELEMETRY default
 #include "trace/pcap.hpp"
 #include "trace/trace_io.hpp"
 
@@ -74,6 +78,49 @@ TEST(Tools, AnalyzeWithConfidenceIntervals) {
 
 TEST(Tools, AnalyzeFailsOnMissingFile) {
   EXPECT_NE(run(tool("disco_analyze") + " /nonexistent.dtrc >/dev/null 2>&1"), 0);
+}
+
+TEST(Tools, AnalyzeMetricsEmitsParsableTelemetrySnapshot) {
+  const std::string trace_path = ::testing::TempDir() + "/tools_metrics.dtrc";
+  const std::string out_path = ::testing::TempDir() + "/tools_metrics.out";
+  ASSERT_EQ(run(tool("disco_tracegen") + " real 60 " + trace_path + " >/dev/null"), 0);
+  ASSERT_EQ(run(tool("disco_analyze") + " " + trace_path +
+                " --bits 10 --methods DISCO --metrics > " + out_path),
+            0);
+  std::ifstream in(out_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string output = buffer.str();
+  const auto marker = output.find("telemetry snapshot:\n");
+  ASSERT_NE(marker, std::string::npos);
+  const auto snapshot = disco::telemetry::snapshot_from_json(
+      output.substr(marker + std::string("telemetry snapshot:\n").size()));
+#if DISCO_TELEMETRY
+  // The replay must surface the operational signals: per-shard ingests,
+  // evictions, and the probe-length histogram.
+  std::uint64_t ingests = 0;
+  std::uint64_t evictions = 0;
+  bool probe_hist = false;
+  for (const auto& m : snapshot.metrics) {
+    if (m.name.starts_with("sharded_monitor.shard_") &&
+        m.name.ends_with(".ingest_total")) {
+      ingests += static_cast<std::uint64_t>(m.value);
+    }
+    if (m.name.ends_with(".evictions_total")) {
+      evictions += static_cast<std::uint64_t>(m.value);
+    }
+    if (m.name == "flow_table.probe_length") {
+      probe_hist = m.histogram.count > 0;
+    }
+  }
+  EXPECT_GT(ingests, 0u);
+  EXPECT_GT(evictions, 0u);
+  EXPECT_TRUE(probe_hist);
+#else
+  EXPECT_TRUE(snapshot.metrics.empty());
+#endif
+  std::remove(trace_path.c_str());
+  std::remove(out_path.c_str());
 }
 
 }  // namespace

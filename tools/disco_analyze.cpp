@@ -11,6 +11,9 @@
 //   --top K            also print the K heaviest flows by exact volume
 //   --ci               print 95% confidence intervals for the top flows'
 //                      DISCO estimates (Theorem 2 normal approximation)
+//   --metrics          enable runtime telemetry, additionally replay the
+//                      trace through a ShardedFlowMonitor, and print the
+//                      metric registry as JSON (see docs/telemetry.md)
 //
 // Replays the trace against each method and prints the paper's error
 // metrics, plus counter-bit accounting -- the offline half of the pipeline.
@@ -24,8 +27,12 @@
 #include <vector>
 
 #include "core/disco.hpp"
+#include "flowtable/sharded_monitor.hpp"
 #include "stats/experiment.hpp"
 #include "stats/table.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/pcap.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_stats.hpp"
@@ -35,8 +42,21 @@ namespace {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: disco_analyze <trace.dtrc|trace.pcap> [--bits N]"
-               " [--mode volume|size] [--methods a,b,...] [--seed N] [--top K]\n";
+               " [--mode volume|size] [--methods a,b,...] [--seed N] [--top K]"
+               " [--ci] [--metrics]\n";
   std::exit(2);
+}
+
+/// A synthetic but deterministic 5-tuple for a dense flow id, for replaying
+/// id-keyed traces through the 5-tuple monitor stack.
+disco::flowtable::FiveTuple tuple_for_flow(std::uint32_t flow_id) {
+  disco::flowtable::FiveTuple t;
+  t.src_ip = 0x0a000000u | flow_id;  // 10.x.y.z
+  t.dst_ip = 0xc0a80001u;            // 192.168.0.1
+  t.src_port = static_cast<std::uint16_t>(1024 + (flow_id & 0x7fff));
+  t.dst_port = 443;
+  t.protocol = 6;
+  return t;
 }
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -68,6 +88,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t top_k = 0;
   bool with_ci = false;
+  bool with_metrics = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
       bits = std::atoi(argv[++i]);
@@ -89,10 +110,13 @@ int main(int argc, char** argv) {
       top_k = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--ci") == 0) {
       with_ci = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      with_metrics = true;
     } else {
       usage("unknown option");
     }
   }
+  if (with_metrics) telemetry::set_enabled(true);
 
   try {
     // Load packets and regroup them into flows (arrival order preserved).
@@ -114,10 +138,13 @@ int main(int argc, char** argv) {
               << stats::to_string(mode) << " with " << bits
               << "-bit counters\n\n";
 
+    auto& method_run_ns =
+        telemetry::Registry::global().histogram("analyze.method_run_ns");
     stats::TextTable table({"method", "avg R", "R_o(0.95)", "max R",
                             "largest counter bits", "SRAM bits"});
     for (const auto& name : methods) {
       const auto method = stats::make_method(name);
+      const telemetry::ScopeTimer timer(method_run_ns);
       const auto r = stats::run_accuracy(*method, flows, mode, bits, seed);
       table.add_row({name, stats::fmt(r.errors.average, 4),
                      stats::fmt(r.errors.optimistic95, 4),
@@ -157,6 +184,27 @@ int main(int argc, char** argv) {
         }
         std::cout << '\n';
       }
+    }
+
+    if (with_metrics) {
+      // Replay the trace through the online monitor stack so the snapshot
+      // carries the operational signals too (per-shard ingest, occupancy,
+      // evictions, probe lengths), not just the offline error analysis.
+      flowtable::ShardedFlowMonitor monitor(
+          {.base = {.max_flows = static_cast<std::size_t>(max_flow_id) + 1,
+                    .counter_bits = bits},
+           .shards = 4});
+      std::uint64_t now_ns = 0;
+      for (std::size_t i = 0; i < packets.size(); ++i) {
+        const auto& p = packets[i];
+        now_ns = p.timestamp_ns != 0 ? p.timestamp_ns
+                                     : static_cast<std::uint64_t>(i + 1) * 1000;
+        monitor.ingest(tuple_for_flow(p.flow_id), p.length, now_ns);
+      }
+      monitor.evict_idle(now_ns + 1, 0);  // export everything as evictions
+      std::cout << "\ntelemetry snapshot:\n"
+                << telemetry::to_json(telemetry::Registry::global().snapshot())
+                << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
