@@ -1,0 +1,201 @@
+// Ingest throughput of the lock-free pipeline versus the mutex-per-shard
+// sharded monitor -- the software version of the paper's Section VI claim
+// that ring-fed run-to-completion MicroEngines with burst pre-aggregation
+// reach line rate (Table V: 11.1 Gbps per ME, ~2.5x of it from aggregation
+// alone).
+//
+// Both systems ingest the SAME bursty workload (back-to-back same-flow runs,
+// the traffic shape Section VI exploits) from N producer threads:
+//
+//   * ShardedFlowMonitor: each producer does the full DISCO update inline
+//     under its shard's mutex (64 shards, so contention is mild; the cost is
+//     the update itself plus the lock).
+//   * PipelineMonitor: producers only hash and push into SPSC rings; N
+//     dedicated workers pop in batches, coalesce bursts, and apply updates
+//     to their exclusive shards.  Throughput comes from three places: no
+//     locks, batched ring drains, and ~burst-length-fold fewer discounted
+//     updates.
+//
+// Reported Mpps is end-to-end: producers start to last packet applied
+// (drain), so ring residue is paid for, not hidden.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "flowtable/sharded_monitor.hpp"
+#include "pipeline/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using disco::flowtable::FiveTuple;
+
+constexpr std::uint32_t kFlows = 4096;
+
+// Bursty packet source: runs of 1..16 same-flow packets (mean ~6), flow ids
+// skewed so a handful of elephants dominate -- the shape of real links and
+// the precondition for Section VI's aggregation win.  Deterministic per
+// producer id.
+struct BurstSource {
+  explicit BurstSource(unsigned producer) : rng(9000 + producer) {}
+
+  struct Packet {
+    FiveTuple flow;
+    std::uint32_t length;
+  };
+
+  Packet next() {
+    if (remaining == 0) {
+      // Skew: AND of two uniforms concentrates mass on low flow ids.
+      const auto a = rng.uniform_u64(0, kFlows - 1);
+      const auto b = rng.uniform_u64(0, kFlows - 1);
+      current = static_cast<std::uint32_t>(a & b);
+      remaining = 1 + rng.uniform_u64(0, 15);
+    }
+    --remaining;
+    return Packet{FiveTuple{0x0a000000u + current, 0x08080404u,
+                            static_cast<std::uint16_t>(current), 443, 6},
+                  static_cast<std::uint32_t>(rng.uniform_u64(64, 1500))};
+  }
+
+  disco::util::Rng rng;
+  std::uint32_t current = 0;
+  std::uint64_t remaining = 0;
+};
+
+disco::flowtable::FlowMonitor::Config base_config() {
+  disco::flowtable::FlowMonitor::Config c;
+  c.max_flows = 1 << 16;
+  c.counter_bits = 12;
+  c.max_flow_bytes = 1ull << 34;
+  c.max_flow_packets = 1 << 24;
+  c.seed = 4242;
+  return c;
+}
+
+struct RunResult {
+  double mpps = 0.0;
+  double gbps = 0.0;
+  std::uint64_t coalesced = 0;
+};
+
+RunResult run_sharded(unsigned producers, std::uint64_t packets_per_producer) {
+  using namespace disco;
+  flowtable::ShardedFlowMonitor::Config config;
+  config.base = base_config();
+  config.shards = 64;
+  flowtable::ShardedFlowMonitor monitor(config);
+
+  std::atomic<std::uint64_t> total_bytes{0};
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      BurstSource source(p);
+      std::uint64_t bytes = 0;
+      for (std::uint64_t i = 0; i < packets_per_producer; ++i) {
+        const auto pkt = source.next();
+        (void)monitor.ingest(pkt.flow, pkt.length);
+        bytes += pkt.length;
+      }
+      total_bytes += bytes;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  RunResult r;
+  r.mpps = static_cast<double>(producers) *
+           static_cast<double>(packets_per_producer) / elapsed / 1e6;
+  r.gbps = static_cast<double>(total_bytes.load()) * 8.0 / elapsed / 1e9;
+  return r;
+}
+
+RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer) {
+  using namespace disco;
+  pipeline::PipelineMonitor::Config config;
+  config.base = base_config();
+  config.workers = producers;  // one shard-owning worker per producer
+  config.producers = producers;
+  config.ring_capacity = 1u << 14;
+  config.backpressure = pipeline::Backpressure::Block;
+  pipeline::PipelineMonitor monitor(config);
+
+  std::atomic<std::uint64_t> total_bytes{0};
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      BurstSource source(p);
+      std::uint64_t bytes = 0;
+      for (std::uint64_t i = 0; i < packets_per_producer; ++i) {
+        const auto pkt = source.next();
+        (void)monitor.ingest(p, pkt.flow, pkt.length);
+        bytes += pkt.length;
+      }
+      total_bytes += bytes;
+    });
+  }
+  for (auto& t : threads) t.join();
+  monitor.drain();  // end-to-end: count the time to apply every packet
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  RunResult r;
+  r.mpps = static_cast<double>(producers) *
+           static_cast<double>(packets_per_producer) / elapsed / 1e6;
+  r.gbps = static_cast<double>(total_bytes.load()) * 8.0 / elapsed / 1e9;
+  r.coalesced = monitor.coalesced();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace disco;
+  const bool telemetry = bench::parse_telemetry_flag(&argc, argv);
+  bench::print_title(
+      "lock-free pipeline vs mutex-sharded monitor",
+      "Section VI / Table V: ring-fed MEs with burst pre-aggregation");
+
+  const auto packets_per_producer =
+      static_cast<std::uint64_t>(500'000 * bench::scale());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "hardware threads available: " << hw
+            << " (pipeline adds one worker thread per producer)\n\n";
+
+  stats::TextTable table({"producers", "sharded Mpps", "pipeline Mpps",
+                          "speedup", "pipeline Gbps", "coalesce ratio"});
+  for (unsigned producers : {1u, 2u, 4u, 8u}) {
+    const RunResult sharded = run_sharded(producers, packets_per_producer);
+    const RunResult pipe = run_pipeline(producers, packets_per_producer);
+    const double total_packets = static_cast<double>(producers) *
+                                 static_cast<double>(packets_per_producer);
+    // updates saved: merged packets / all packets -- ~0.6 means each DISCO
+    // update covered ~2.5 packets, the paper's aggregation factor.
+    const double coalesce_ratio =
+        static_cast<double>(pipe.coalesced) / total_packets;
+    table.add_row({std::to_string(producers), stats::fmt(sharded.mpps, 2),
+                   stats::fmt(pipe.mpps, 2),
+                   stats::fmt(pipe.mpps / sharded.mpps, 2) + "x",
+                   stats::fmt(pipe.gbps, 2), stats::fmt(coalesce_ratio, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nthe pipeline wins on three fronts: producers never take a\n"
+               "lock (SPSC rings), workers drain rings in batches, and burst\n"
+               "coalescing applies one discounted update per ~run of\n"
+               "same-flow packets (Section VI's ~2.5x aggregation factor).\n";
+  if (hw < 4) {
+    std::cout << "(only " << hw
+              << " hardware thread(s) here: producer+worker pairs are\n"
+                 "oversubscribed, so the speedup shown is mostly the\n"
+                 "coalescing and lock-elision win, not parallel scaling.)\n";
+  }
+  if (telemetry) bench::dump_telemetry_snapshot();
+  return 0;
+}

@@ -68,16 +68,24 @@ FlowMonitor::FlowMonitor(const Config& config)
 
 bool FlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
                          std::uint64_t now_ns) {
+  return ingest_burst(flow, length, 1, now_ns);
+}
+
+bool FlowMonitor::ingest_burst(const FiveTuple& flow, std::uint64_t bytes,
+                               std::uint64_t packets, std::uint64_t now_ns) {
   const auto slot = table_.insert_or_get(flow);
   if (!slot) {
-    metrics_.rejects->inc();
+    metrics_.rejects->inc(packets);
     return false;
   }
-  volume_.add(*slot, length, rng_);
-  size_.add(*slot, 1, rng_);
+  // Volume before size, always: a burst of one packet consumes the RNG
+  // stream exactly as the per-packet path did, keeping the two paths (and
+  // snapshots taken across them) interchangeable.
+  volume_.add(*slot, bytes, rng_);
+  size_.add(*slot, packets, rng_);
   last_seen_ns_[*slot] = now_ns;
-  ++packets_seen_;
-  metrics_.ingests->inc();
+  packets_seen_ += packets;
+  metrics_.ingests->inc(packets);
   metrics_.occupancy->set(static_cast<std::int64_t>(table_.size()));
   return true;
 }

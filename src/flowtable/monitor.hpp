@@ -51,6 +51,18 @@ class FlowMonitor {
   bool ingest(const FiveTuple& flow, std::uint32_t length,
               std::uint64_t now_ns = 0);
 
+  /// Counts a pre-aggregated burst of `packets` same-flow packets totalling
+  /// `bytes` as ONE discounted volume update and ONE discounted size update
+  /// (the paper's Section VI burst aggregation; src/pipeline feeds this).
+  /// Unbiasedness is per-update (Theorem 1), so estimates stay unbiased for
+  /// any grouping -- with lower variance than per-packet updates, since one
+  /// large update replaces several small ones (Theorem 2).
+  /// `ingest_burst(f, l, 1, t)` consumes the same randomness as
+  /// `ingest(f, l, t)`, so burst and per-packet paths are interchangeable
+  /// packet for packet.
+  bool ingest_burst(const FiveTuple& flow, std::uint64_t bytes,
+                    std::uint64_t packets, std::uint64_t now_ns = 0);
+
   /// Per-flow on-line estimates.
   struct FlowEstimate {
     FiveTuple flow;

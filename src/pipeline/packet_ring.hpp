@@ -1,0 +1,103 @@
+// Bounded lock-free single-producer/single-consumer ring -- the software
+// analogue of the IXP2850's scratchpad rings that feed each MicroEngine
+// (paper Section VI).  One thread pushes, one thread pops; there is no
+// atomic read-modify-write anywhere, only loads and stores:
+//
+//   * `tail_` is written by the producer only, `head_` by the consumer only,
+//     each on its own cache line so the two sides never false-share;
+//   * each side keeps a *cached* copy of the other side's index and
+//     re-reads the shared atomic only when the cache says the ring looks
+//     full (producer) or empty (consumer) -- the classic optimisation that
+//     turns the common case into zero cache-coherency traffic;
+//   * indices are free-running (they wrap the full size_t range, not the
+//     capacity), so full/empty are `tail - head == capacity` / `== 0` with
+//     no wasted slot and no modulo on the fast path (capacity is a power of
+//     two; slot index is `index & mask`).
+//
+// `pop_batch` drains up to `max` slots per call: the consumer pays the
+// acquire-load and the release-store once per *batch*, not once per packet,
+// which is where the pipeline's throughput over a mutex design comes from.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace disco::pipeline {
+
+/// Destructive-interference distance.  A fixed 64 rather than
+/// std::hardware_destructive_interference_size: the constant is part of the
+/// ring's layout (an ABI), and gcc warns that the std value shifts with
+/// -mtune.  64 is correct for every deployment target we build on.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` must be a power of two in [2, 2^31].
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {
+    if (capacity < 2 || capacity > (std::size_t{1} << 31) ||
+        !std::has_single_bit(capacity)) {
+      throw std::invalid_argument(
+          "SpscRing: capacity must be a power of two in [2, 2^31]");
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false when the ring is full (the caller decides
+  /// whether that is a drop or a retry -- backpressure policy lives above).
+  bool try_push(const T& value) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops up to `max` values into `out`, returns how many.
+  /// One acquire load and one release store per batch regardless of size.
+  std::size_t pop_batch(T* out, std::size_t max) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    std::size_t n = cached_tail_ - head;
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) out[i] = slots_[(head + i) & mask_];
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Snapshot of the backlog; exact only from the producer or consumer
+  /// thread, approximate from anywhere else (telemetry uses it as a gauge).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept { return size_approx() == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  // Shared indices, one cache line each; then each side's private cache of
+  // the opposite index, again separated so producer writes to cached_head_
+  // never invalidate the consumer's line holding cached_tail_.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< consumer-owned
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< producer-owned
+  alignas(kCacheLine) std::size_t cached_head_ = 0;       ///< producer's view of head_
+  alignas(kCacheLine) std::size_t cached_tail_ = 0;       ///< consumer's view of tail_
+};
+
+}  // namespace disco::pipeline

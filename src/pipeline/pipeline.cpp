@@ -1,0 +1,454 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/registry.hpp"
+
+namespace disco::pipeline {
+
+// A synchronous control-plane message.  The caller allocates it on its own
+// stack, pushes a pointer through the worker's command ring, and waits; the
+// worker fills the result fields and signals.  Commands are serialised by
+// control_mutex_, so at most one is in flight per worker.
+struct PipelineMonitor::Command {
+  enum class Op {
+    Rotate,
+    Totals,
+    Query,
+    TopK,
+    Memory,
+    PacketsSeen,
+    EvictIdle,
+    Drain,
+    Stop,
+  };
+
+  explicit Command(Op op) : op(op) {}
+
+  Op op;
+  // Inputs.
+  FiveTuple flow{};
+  std::size_t k = 0;
+  std::uint64_t now_ns = 0;
+  std::uint64_t idle_timeout_ns = 0;
+  // Outputs (which fields are filled depends on op).
+  EpochReport report;
+  Totals totals;
+  std::optional<FlowEstimate> estimate;
+  std::vector<FlowEstimate> flows;
+  MemoryReport memory;
+  std::uint64_t count = 0;
+  // Completion.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+
+  void signal() {
+    // Notify UNDER the lock: the waiter owns this object (its stack) and
+    // destroys it the moment wait() returns, so the notify must complete
+    // before the waiter can re-acquire the mutex and wake.
+    const std::lock_guard<std::mutex> lock(mutex);
+    done = true;
+    cv.notify_one();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return done; });
+  }
+};
+
+// One shard: a FlowMonitor owned exclusively by one thread, its input rings
+// (one per producer plus the command ring at index `producers`), and its
+// coalescer.  Only the owning worker thread touches `monitor` and
+// `coalescer` while the pipeline runs; after stop() the control plane
+// inherits them (the join is the handover).
+struct PipelineMonitor::Worker {
+  Worker(const flowtable::FlowMonitor::Config& monitor_config,
+         const BurstCoalescer::Config& coalescer_config, unsigned producers,
+         std::size_t ring_capacity)
+      : monitor(monitor_config), coalescer(coalescer_config) {
+    rings.reserve(producers + 1);
+    for (unsigned p = 0; p <= producers; ++p) {
+      rings.push_back(std::make_unique<SpscRing<Message>>(ring_capacity));
+    }
+  }
+
+  flowtable::FlowMonitor monitor;
+  BurstCoalescer coalescer;
+  std::vector<std::unique_ptr<SpscRing<Message>>> rings;
+  bool stop_requested = false;         ///< worker-thread-local exit flag
+  std::uint64_t merged_reported = 0;   ///< coalescer.merged() already exported
+
+  /// Race-free mirror of coalescer.merged() for cross-thread reads.
+  alignas(kCacheLine) std::atomic<std::uint64_t> merged_mirror{0};
+
+  telemetry::Gauge* occupancy = nullptr;
+  telemetry::LatencyHistogram* pop_batch = nullptr;
+  telemetry::Counter* coalesced = nullptr;
+  telemetry::Counter* commands = nullptr;
+};
+
+namespace {
+
+/// Producer-side wait: a short spin for the worker to free a slot, then
+/// yield -- on an oversubscribed host the worker needs the cpu more than
+/// the spinner does.
+inline void backoff(unsigned& spins) noexcept {
+  if (++spins < 16) return;
+  std::this_thread::yield();
+}
+
+}  // namespace
+
+flowtable::FlowMonitor::Config PipelineMonitor::shard_config(
+    const Config& config, unsigned worker) {
+  flowtable::FlowMonitor::Config shard = config.base;
+  // Same capacity split as ShardedFlowMonitor: per-shard share plus 25%
+  // headroom, because hashing is not perfectly balanced.
+  shard.max_flows = std::max<std::size_t>(
+      16, (config.base.max_flows / config.workers) * 5 / 4);
+  shard.seed = config.base.seed + 0x9e3779b97f4a7c15ULL * (worker + 1);
+  shard.telemetry_prefix =
+      config.telemetry_prefix + ".worker_" + std::to_string(worker);
+  return shard;
+}
+
+PipelineMonitor::PipelineMonitor(const Config& config)
+    : config_(config), producers_(config.producers) {
+  if (config.workers == 0 || config.workers > 256) {
+    throw std::invalid_argument("PipelineMonitor: workers must be in [1, 256]");
+  }
+  if (config.producers == 0 || config.producers > 256) {
+    throw std::invalid_argument("PipelineMonitor: producers must be in [1, 256]");
+  }
+  if (config.pop_batch == 0) {
+    throw std::invalid_argument("PipelineMonitor: pop_batch must be >= 1");
+  }
+  auto& registry = telemetry::Registry::global();
+  dropped_metric_ = &registry.counter(config.telemetry_prefix + ".dropped_total");
+  blocked_metric_ = &registry.counter(config.telemetry_prefix + ".blocked_total");
+
+  workers_.reserve(config.workers);
+  for (unsigned w = 0; w < config.workers; ++w) {
+    const auto shard = shard_config(config, w);
+    workers_.push_back(std::make_unique<Worker>(shard, config.coalescer,
+                                                producers_, config.ring_capacity));
+    Worker& worker = *workers_.back();
+    const std::string& prefix = shard.telemetry_prefix;
+    worker.occupancy = &registry.gauge(prefix + ".ring_occupancy");
+    worker.pop_batch = &registry.histogram(prefix + ".pop_batch");
+    worker.coalesced = &registry.counter(prefix + ".coalesced_total");
+    worker.commands = &registry.counter(prefix + ".commands_total");
+  }
+  producer_stats_.reserve(producers_);
+  for (unsigned p = 0; p < producers_; ++p) {
+    producer_stats_.push_back(std::make_unique<ProducerStats>());
+  }
+  threads_.reserve(config.workers);
+  for (unsigned w = 0; w < config.workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(*workers_[w]); });
+  }
+  running_ = true;
+}
+
+PipelineMonitor::~PipelineMonitor() { stop(); }
+
+bool PipelineMonitor::ingest(unsigned producer, const FiveTuple& flow,
+                             std::uint32_t length, std::uint64_t now_ns) {
+  if (producer >= producers_) {
+    throw std::invalid_argument("PipelineMonitor::ingest: bad producer id");
+  }
+  if (!accepting_.load(std::memory_order_acquire)) return false;
+  Worker& worker =
+      *workers_[worker_of(flow, static_cast<unsigned>(workers_.size()))];
+  SpscRing<Message>& ring = *worker.rings[producer];
+  const Message msg{flow, length, now_ns, nullptr};
+  if (ring.try_push(msg)) [[likely]] return true;
+
+  if (config_.backpressure == Backpressure::Drop) {
+    producer_stats_[producer]->dropped.fetch_add(1, std::memory_order_relaxed);
+    dropped_metric_->inc();
+    return false;
+  }
+  blocked_metric_->inc();
+  unsigned spins = 0;
+  while (!ring.try_push(msg)) {
+    if (!accepting_.load(std::memory_order_acquire)) return false;
+    backoff(spins);
+  }
+  return true;
+}
+
+void PipelineMonitor::process_batch(Worker& worker, const Message* batch,
+                                    std::size_t n) {
+  auto apply = [&worker](const BurstUpdate& burst) {
+    (void)worker.monitor.ingest_burst(burst.flow, burst.bytes, burst.packets,
+                                      burst.last_ns);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    worker.coalescer.add(batch[i].flow, batch[i].length, batch[i].now_ns, apply);
+  }
+  const std::uint64_t merged = worker.coalescer.merged();
+  if (merged != worker.merged_reported) {
+    worker.coalesced->inc(merged - worker.merged_reported);
+    worker.merged_reported = merged;
+    worker.merged_mirror.store(merged, std::memory_order_relaxed);
+  }
+}
+
+void PipelineMonitor::handle_command(Worker& worker, Command& command) {
+  worker.commands->inc();
+  auto apply = [&worker](const BurstUpdate& burst) {
+    (void)worker.monitor.ingest_burst(burst.flow, burst.bytes, burst.packets,
+                                      burst.last_ns);
+  };
+  // Drain and Stop first absorb everything already queued; every other op
+  // only needs the buffered bursts applied so reports see recent packets.
+  if (command.op == Command::Op::Drain || command.op == Command::Op::Stop) {
+    std::vector<Message> batch(config_.pop_batch);
+    bool again = true;
+    while (again) {
+      again = false;
+      for (unsigned p = 0; p < producers_; ++p) {
+        const std::size_t n =
+            worker.rings[p]->pop_batch(batch.data(), batch.size());
+        if (n > 0) {
+          process_batch(worker, batch.data(), n);
+          again = true;
+        }
+      }
+    }
+  }
+  worker.coalescer.flush(apply);
+
+  switch (command.op) {
+    case Command::Op::Rotate:
+      command.report = worker.monitor.rotate();
+      break;
+    case Command::Op::Totals:
+      command.totals = worker.monitor.totals();
+      break;
+    case Command::Op::Query:
+      command.estimate = worker.monitor.query(command.flow);
+      break;
+    case Command::Op::TopK:
+      command.flows = worker.monitor.top_k(command.k);
+      break;
+    case Command::Op::Memory:
+      command.memory = worker.monitor.memory();
+      break;
+    case Command::Op::PacketsSeen:
+      command.count = worker.monitor.packets_seen();
+      break;
+    case Command::Op::EvictIdle:
+      command.flows =
+          worker.monitor.evict_idle(command.now_ns, command.idle_timeout_ns);
+      break;
+    case Command::Op::Drain:
+      break;
+    case Command::Op::Stop:
+      worker.stop_requested = true;
+      break;
+  }
+  command.signal();
+}
+
+void PipelineMonitor::worker_loop(Worker& worker) {
+  std::vector<Message> batch(config_.pop_batch);
+  SpscRing<Message>& command_ring = *worker.rings[producers_];
+  auto apply = [&worker](const BurstUpdate& burst) {
+    (void)worker.monitor.ingest_burst(burst.flow, burst.bytes, burst.packets,
+                                      burst.last_ns);
+  };
+  unsigned idle = 0;
+  for (;;) {
+    // Commands first: they are rare and latency-sensitive (a rotate must not
+    // wait behind a deep packet backlog sweep).
+    Message command_msg;
+    while (command_ring.pop_batch(&command_msg, 1) == 1) {
+      handle_command(worker, *command_msg.command);
+      if (worker.stop_requested) return;
+    }
+
+    bool any = false;
+    std::size_t backlog = 0;
+    for (unsigned p = 0; p < producers_; ++p) {
+      SpscRing<Message>& ring = *worker.rings[p];
+      const std::size_t n = ring.pop_batch(batch.data(), batch.size());
+      if (n > 0) {
+        any = true;
+        worker.pop_batch->record(n);
+        process_batch(worker, batch.data(), n);
+        backlog += ring.size_approx();
+      }
+    }
+    if (any) {
+      worker.occupancy->set(static_cast<std::int64_t>(backlog));
+      idle = 0;
+      continue;
+    }
+    // Idle: back off -- briefly spin (a packet may be nanoseconds away),
+    // then yield so producers and sibling workers get the core.  Open bursts
+    // are closed only after a sustained idle streak: flushing on every empty
+    // sweep would defeat coalescing whenever the worker outpaces its
+    // producers (it would see each packet alone).  Control-plane commands
+    // flush unconditionally, so queries are never stale.
+    worker.occupancy->set(0);
+    ++idle;
+    if (idle == 64) worker.coalescer.flush(apply);
+    if (idle >= 16) std::this_thread::yield();
+  }
+}
+
+void PipelineMonitor::run_on_worker(unsigned w, Command& command) {
+  Worker& worker = *workers_[w];
+  if (!running_) {
+    // Workers joined (stop() happened-before): safe to run inline.
+    handle_command(worker, command);
+    return;
+  }
+  SpscRing<Message>& ring = *worker.rings[producers_];
+  Message msg;
+  msg.command = &command;
+  unsigned spins = 0;
+  while (!ring.try_push(msg)) backoff(spins);
+  command.wait();
+}
+
+PipelineMonitor::EpochReport PipelineMonitor::rotate() {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  EpochReport merged;
+  bool first = true;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::Rotate);
+    run_on_worker(w, command);
+    if (first) {
+      merged.epoch = command.report.epoch;
+      first = false;
+    }
+    merged.flows.insert(merged.flows.end(), command.report.flows.begin(),
+                        command.report.flows.end());
+    merged.totals.bytes += command.report.totals.bytes;
+    merged.totals.packets += command.report.totals.packets;
+    merged.totals.flows += command.report.totals.flows;
+  }
+  return merged;
+}
+
+PipelineMonitor::Totals PipelineMonitor::totals() {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  Totals aggregate;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::Totals);
+    run_on_worker(w, command);
+    aggregate.bytes += command.totals.bytes;
+    aggregate.packets += command.totals.packets;
+    aggregate.flows += command.totals.flows;
+  }
+  return aggregate;
+}
+
+std::optional<PipelineMonitor::FlowEstimate> PipelineMonitor::query(
+    const FiveTuple& flow) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  Command command(Command::Op::Query);
+  command.flow = flow;
+  run_on_worker(worker_of(flow, static_cast<unsigned>(workers_.size())), command);
+  return command.estimate;
+}
+
+std::vector<PipelineMonitor::FlowEstimate> PipelineMonitor::top_k(std::size_t k) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  std::vector<FlowEstimate> all;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::TopK);
+    command.k = k;
+    run_on_worker(w, command);
+    all.insert(all.end(), command.flows.begin(), command.flows.end());
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(), [](const FlowEstimate& a, const FlowEstimate& b) {
+                      return a.bytes > b.bytes;
+                    });
+  all.resize(take);
+  return all;
+}
+
+PipelineMonitor::MemoryReport PipelineMonitor::memory() {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  MemoryReport aggregate;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::Memory);
+    run_on_worker(w, command);
+    aggregate.volume_counter_bits += command.memory.volume_counter_bits;
+    aggregate.size_counter_bits += command.memory.size_counter_bits;
+    aggregate.flow_table_bits += command.memory.flow_table_bits;
+  }
+  return aggregate;
+}
+
+std::uint64_t PipelineMonitor::packets_seen() {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  std::uint64_t total = 0;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::PacketsSeen);
+    run_on_worker(w, command);
+    total += command.count;
+  }
+  return total;
+}
+
+std::vector<PipelineMonitor::FlowEstimate> PipelineMonitor::evict_idle(
+    std::uint64_t now_ns, std::uint64_t idle_timeout_ns) {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  std::vector<FlowEstimate> merged;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::EvictIdle);
+    command.now_ns = now_ns;
+    command.idle_timeout_ns = idle_timeout_ns;
+    run_on_worker(w, command);
+    merged.insert(merged.end(), command.flows.begin(), command.flows.end());
+  }
+  return merged;
+}
+
+void PipelineMonitor::drain() {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::Drain);
+    run_on_worker(w, command);
+  }
+}
+
+void PipelineMonitor::stop() {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  if (!running_) return;
+  accepting_.store(false, std::memory_order_release);
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::Stop);
+    run_on_worker(w, command);
+  }
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+  running_ = false;
+}
+
+std::uint64_t PipelineMonitor::dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& stats : producer_stats_) {
+    total += stats->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t PipelineMonitor::coalesced() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->merged_mirror.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace disco::pipeline

@@ -1,0 +1,195 @@
+// PipelineMonitor -- the run-to-completion threaded ingest pipeline.
+//
+// This is the software realisation of the paper's Section VI IXP2850
+// architecture (which src/sim/np_system.* only *simulates*): packets flow
+// through bounded lock-free rings into worker threads, each of which is the
+// EXCLUSIVE owner of one FlowMonitor shard.  Nothing on the packet path
+// takes a mutex:
+//
+//   producer threads                     worker threads (one per shard)
+//   ---------------                      -----------------------------
+//   hash 5-tuple, route by        SPSC   pop a batch, coalesce bursts
+//   high bits to the owning  --> rings -->  (Section VI pre-aggregation),
+//   worker's ring                        apply DISCO updates to the shard
+//
+//   * Routing uses the hash's HIGH bits (the flow table probes with the low
+//     bits), exactly like ShardedFlowMonitor, so a flow's estimates are
+//     identical to a single FlowMonitor fed that shard's packet sequence.
+//   * Rings are per (producer, worker) pair, so every ring has one writer
+//     and one reader -- the SPSC invariant -- the same way NIC RSS gives
+//     each (rx-queue, core) pair its own descriptor ring.
+//   * Control-plane operations (rotate, totals, query, top-k, drain, stop,
+//     ...) travel as in-band command messages through a dedicated per-worker
+//     command ring and execute ON the worker thread, between batches.
+//     Rotation and top-k therefore never stop ingest and never touch a
+//     shard from outside -- the shard has exactly one thread, ever.
+//   * Backpressure is explicit: a full ring either drops the packet
+//     (`Backpressure::Drop`, counted) or spins the producer until space
+//     frees (`Backpressure::Block`) -- the two policies of a real NIC queue.
+//
+// Epoch semantics match ShardedFlowMonitor: a rotate is applied per shard
+// between batches, so packets in flight land in either the old or the new
+// epoch of their shard -- the standard epoch-boundary trade of distributed
+// monitors.  Every *accepted* packet is counted in exactly one epoch.
+//
+// Telemetry (docs/telemetry.md): per-worker ring occupancy gauges and
+// pop-batch histograms, coalesce/command counters, and producer-side
+// drop/block counters, plus the usual FlowMonitor families under
+// `pipeline.worker_<w>.*`.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flowtable/monitor.hpp"
+#include "pipeline/burst_coalescer.hpp"
+#include "pipeline/packet_ring.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace disco::pipeline {
+
+/// What a producer does when its target ring is full.
+enum class Backpressure {
+  Drop,   ///< drop the packet, count it, return false (measurement-grade)
+  Block,  ///< spin-yield until the worker frees space (lossless)
+};
+
+class PipelineMonitor {
+ public:
+  using FiveTuple = flowtable::FiveTuple;
+  using FlowEstimate = flowtable::FlowMonitor::FlowEstimate;
+  using Totals = flowtable::FlowMonitor::Totals;
+  using EpochReport = flowtable::FlowMonitor::EpochReport;
+  using MemoryReport = flowtable::FlowMonitor::MemoryReport;
+
+  struct Config {
+    flowtable::FlowMonitor::Config base;  ///< deployment totals; capacity is split
+    unsigned workers = 4;                 ///< shard-owning consumer threads
+    unsigned producers = 1;               ///< registered ingest threads
+    std::size_t ring_capacity = 1u << 14; ///< slots per (producer, worker) ring, power of two
+    std::size_t pop_batch = 256;          ///< max messages popped per ring visit
+    Backpressure backpressure = Backpressure::Block;
+    BurstCoalescer::Config coalescer;     ///< .slots = 0 disables coalescing
+    std::string telemetry_prefix = "pipeline";
+  };
+
+  explicit PipelineMonitor(const Config& config);
+
+  /// Stops the workers (stop()) and joins them.
+  ~PipelineMonitor();
+
+  PipelineMonitor(const PipelineMonitor&) = delete;
+  PipelineMonitor& operator=(const PipelineMonitor&) = delete;
+
+  // --- data plane ------------------------------------------------------------
+
+  /// Enqueues one packet from producer `producer` (each producer id must be
+  /// used by AT MOST one thread at a time -- it names an SPSC ring row).
+  /// Returns true when the packet was accepted into its worker's ring;
+  /// false when it was dropped (Drop backpressure on a full ring, or the
+  /// pipeline is stopping).  Flow-table-full rejections happen later, on
+  /// the worker, and are visible in `pipeline.worker_<w>.ingest_rejected_total`.
+  bool ingest(unsigned producer, const FiveTuple& flow, std::uint32_t length,
+              std::uint64_t now_ns = 0);
+
+  // --- control plane (thread-safe; in-band, never stops ingest) -------------
+
+  /// Ends the epoch on every shard and merges the reports.  Shards rotate
+  /// one after another on their own threads; concurrent packets land in the
+  /// old or new epoch of their shard.
+  EpochReport rotate();
+
+  [[nodiscard]] Totals totals();
+  [[nodiscard]] std::optional<FlowEstimate> query(const FiveTuple& flow);
+  [[nodiscard]] std::vector<FlowEstimate> top_k(std::size_t k);
+  [[nodiscard]] MemoryReport memory();
+  [[nodiscard]] std::uint64_t packets_seen();
+  std::vector<FlowEstimate> evict_idle(std::uint64_t now_ns,
+                                       std::uint64_t idle_timeout_ns);
+
+  /// Blocks until every packet enqueued BEFORE this call has been applied
+  /// and all open bursts are flushed.  The caller must have quiesced the
+  /// producers (no concurrent ingest), or drain may chase a moving target.
+  void drain();
+
+  /// Drains and joins the worker threads.  Idempotent.  After stop(), the
+  /// control-plane queries above run directly on the (now thread-less)
+  /// shards, so post-mortem inspection needs no workers.  Concurrent
+  /// ingest() calls fail-fast with false once stop() begins.
+  void stop();
+
+  // --- introspection ---------------------------------------------------------
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] unsigned producer_count() const noexcept { return producers_; }
+
+  /// Packets dropped at full rings (Drop backpressure), summed over
+  /// producers.  Always counted, independent of telemetry.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Packets merged into an open burst by the coalescers (the DISCO-update
+  /// saving), summed over workers.  Stable only while quiesced or stopped.
+  [[nodiscard]] std::uint64_t coalesced() const noexcept;
+
+  /// The worker/shard that owns `flow`: top 32 hash bits modulo `workers`
+  /// (the flow table consumes the low bits), as in ShardedFlowMonitor.
+  [[nodiscard]] static unsigned worker_of(const FiveTuple& flow,
+                                          unsigned workers) noexcept {
+    return static_cast<unsigned>((hash_tuple(flow) >> 32) % workers);
+  }
+
+  /// The exact FlowMonitor configuration worker `worker` runs -- exposed so
+  /// tests can build a reference monitor and assert estimate parity.
+  [[nodiscard]] static flowtable::FlowMonitor::Config shard_config(
+      const Config& config, unsigned worker);
+
+ private:
+  /// One slot of every ring: a packet, or (command rings only) a borrowed
+  /// pointer to a synchronous command the worker fills and signals.
+  struct Command;
+  struct Message {
+    FiveTuple flow{};
+    std::uint32_t length = 0;
+    std::uint64_t now_ns = 0;
+    Command* command = nullptr;
+  };
+
+  struct Worker;
+
+  void worker_loop(Worker& worker);
+  void process_batch(Worker& worker, const Message* batch, std::size_t n);
+  void handle_command(Worker& worker, Command& command);
+  /// Sends `command` to worker `w`'s command ring and waits for completion;
+  /// runs it inline when the workers are stopped.  Caller holds control_mutex_.
+  void run_on_worker(unsigned w, Command& command);
+
+  Config config_;
+  unsigned producers_ = 1;
+
+  struct ProducerStats {
+    alignas(kCacheLine) std::atomic<std::uint64_t> dropped{0};
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<ProducerStats>> producer_stats_;
+
+  /// Serialises control-plane operations (one in-flight command set).
+  std::mutex control_mutex_;
+  std::atomic<bool> accepting_{true};  ///< flips off at stop()
+  bool running_ = false;               ///< workers alive (under control_mutex_)
+  std::vector<std::thread> threads_;
+
+  telemetry::Counter* dropped_metric_ = nullptr;
+  telemetry::Counter* blocked_metric_ = nullptr;
+};
+
+}  // namespace disco::pipeline
