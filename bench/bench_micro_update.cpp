@@ -50,6 +50,48 @@ void BM_DiscoDouble(benchmark::State& state) {
   }
 }
 
+void BM_DiscoTable(benchmark::State& state) {
+  // Same stream and loop as BM_DiscoDouble, with the precomputed
+  // DecisionTable attached: update decisions are bit-identical, but j is
+  // found by probe+gallop over cached doubles instead of log/exp/pow.
+  const auto lens = packet_lengths();
+  disco::core::DiscoParams params(disco::util::choose_b(kMaxFlow, kBits));
+  params.attach_table((std::uint64_t{1} << kBits) - 1);
+  disco::util::Rng rng(1);
+  std::uint64_t c = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    c = params.update(c, lens[i++ & 4095], rng);
+    if (c > 3000) c = 0;  // stay in the operating range
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_DiscoArrayBatch(benchmark::State& state) {
+  // The ingest-shaped workload: one add_batch over 512 counters per
+  // iteration, table attached -- what FlowMonitor::ingest_batch pays per
+  // counter once flow-table lookup is excluded.
+  constexpr std::size_t kBatch = 512;
+  const auto lens = packet_lengths();
+  disco::core::DiscoArray array(
+      kBatch, kBits, disco::core::DiscoParams::for_budget(kMaxFlow, kBits));
+  array.attach_decision_table();
+  std::vector<std::size_t> slots(kBatch);
+  std::vector<std::uint64_t> batch_lens(kBatch);
+  for (std::size_t s = 0; s < kBatch; ++s) {
+    slots[s] = s;
+    batch_lens[s] = lens[s & 4095];
+  }
+  disco::util::Rng rng(1);
+  std::size_t items = 0;
+  for (auto _ : state) {
+    array.add_batch(slots, batch_lens, rng);
+    items += kBatch;
+    benchmark::DoNotOptimize(array);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+
 void BM_DiscoFixedPoint(benchmark::State& state) {
   const auto lens = packet_lengths();
   disco::util::LogExpTable::Config config;
@@ -174,6 +216,8 @@ void BM_ShardedMonitorIngest(benchmark::State& state) {
 }
 
 BENCHMARK(BM_DiscoDouble);
+BENCHMARK(BM_DiscoTable);
+BENCHMARK(BM_DiscoArrayBatch);
 BENCHMARK(BM_DiscoFixedPoint);
 BENCHMARK(BM_Sac);
 BENCHMARK(BM_AnlsII);

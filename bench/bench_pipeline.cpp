@@ -20,7 +20,10 @@
 // (drain), so ring residue is paid for, not hidden.
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -116,14 +119,23 @@ RunResult run_sharded(unsigned producers, std::uint64_t packets_per_producer) {
   return r;
 }
 
-RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer) {
+/// Pipeline knobs the A/B sections vary; defaults match the headline run.
+struct PipelineOptions {
+  unsigned coalescer_slots = 64;   ///< 0 disables burst coalescing
+  bool decision_table = true;      ///< attach the DISCO update fast path
+};
+
+RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer,
+                       const PipelineOptions& options = {}) {
   using namespace disco;
   pipeline::PipelineMonitor::Config config;
   config.base = base_config();
+  config.base.decision_table = options.decision_table;
   config.workers = producers;  // one shard-owning worker per producer
   config.producers = producers;
   config.ring_capacity = 1u << 14;
   config.backpressure = pipeline::Backpressure::Block;
+  config.coalescer.slots = options.coalescer_slots;
   pipeline::PipelineMonitor monitor(config);
 
   std::atomic<std::uint64_t> total_bytes{0};
@@ -154,11 +166,40 @@ RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer) {
   return r;
 }
 
+/// Strips `--json=<path>` from argv; returns the path ("" when absent).
+std::string parse_json_flag(int* argc, char** argv) {
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return path;
+}
+
+struct MainRow {
+  unsigned producers;
+  RunResult sharded;
+  RunResult pipe;
+  double coalesce_ratio;
+};
+
+struct AbRow {
+  unsigned producers;
+  RunResult table_off;
+  RunResult table_on;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace disco;
   const bool telemetry = bench::parse_telemetry_flag(&argc, argv);
+  const std::string json_path = parse_json_flag(&argc, argv);
   bench::print_title(
       "lock-free pipeline vs mutex-sharded monitor",
       "Section VI / Table V: ring-fed MEs with burst pre-aggregation");
@@ -169,6 +210,7 @@ int main(int argc, char** argv) {
   std::cout << "hardware threads available: " << hw
             << " (pipeline adds one worker thread per producer)\n\n";
 
+  std::vector<MainRow> main_rows;
   stats::TextTable table({"producers", "sharded Mpps", "pipeline Mpps",
                           "speedup", "pipeline Gbps", "coalesce ratio"});
   for (unsigned producers : {1u, 2u, 4u, 8u}) {
@@ -180,6 +222,7 @@ int main(int argc, char** argv) {
     // update covered ~2.5 packets, the paper's aggregation factor.
     const double coalesce_ratio =
         static_cast<double>(pipe.coalesced) / total_packets;
+    main_rows.push_back({producers, sharded, pipe, coalesce_ratio});
     table.add_row({std::to_string(producers), stats::fmt(sharded.mpps, 2),
                    stats::fmt(pipe.mpps, 2),
                    stats::fmt(pipe.mpps / sharded.mpps, 2) + "x",
@@ -196,6 +239,64 @@ int main(int argc, char** argv) {
                  "oversubscribed, so the speedup shown is mostly the\n"
                  "coalescing and lock-elision win, not parallel scaling.)\n";
   }
+
+  // --- decision-table A/B ---------------------------------------------------
+  // Coalescing disabled so every packet is one discounted update: the purest
+  // end-to-end view of what the DecisionTable fast path buys the hot loop.
+  std::cout << "\ndecision-table A/B (coalescing disabled, one update per "
+               "packet):\n";
+  std::vector<AbRow> ab_rows;
+  stats::TextTable ab({"producers", "double-path Mpps", "table-path Mpps",
+                       "speedup"});
+  const PipelineOptions off{.coalescer_slots = 0, .decision_table = false};
+  const PipelineOptions on{.coalescer_slots = 0, .decision_table = true};
+  for (unsigned producers : {1u, 2u}) {
+    const RunResult table_off =
+        run_pipeline(producers, packets_per_producer, off);
+    const RunResult table_on = run_pipeline(producers, packets_per_producer, on);
+    ab_rows.push_back({producers, table_off, table_on});
+    ab.add_row({std::to_string(producers), stats::fmt(table_off.mpps, 2),
+                stats::fmt(table_on.mpps, 2),
+                stats::fmt(table_on.mpps / table_off.mpps, 2) + "x"});
+  }
+  ab.print(std::cout);
+  std::cout << "(both rows produce bit-identical estimates; the table only\n"
+               "removes the log/exp/pow calls from each update decision.)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"bench_pipeline\",\n"
+        << "  \"scale\": " << bench::scale() << ",\n"
+        << "  \"hardware_threads\": " << hw << ",\n"
+        << "  \"packets_per_producer\": " << packets_per_producer << ",\n"
+        << "  \"main\": [\n";
+    for (std::size_t i = 0; i < main_rows.size(); ++i) {
+      const MainRow& r = main_rows[i];
+      out << "    {\"producers\": " << r.producers
+          << ", \"sharded_mpps\": " << r.sharded.mpps
+          << ", \"pipeline_mpps\": " << r.pipe.mpps
+          << ", \"speedup\": " << r.pipe.mpps / r.sharded.mpps
+          << ", \"pipeline_gbps\": " << r.pipe.gbps
+          << ", \"coalesce_ratio\": " << r.coalesce_ratio << "}"
+          << (i + 1 < main_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"decision_table_ab\": [\n";
+    for (std::size_t i = 0; i < ab_rows.size(); ++i) {
+      const AbRow& r = ab_rows[i];
+      out << "    {\"producers\": " << r.producers
+          << ", \"table_off_mpps\": " << r.table_off.mpps
+          << ", \"table_on_mpps\": " << r.table_on.mpps
+          << ", \"speedup\": " << r.table_on.mpps / r.table_off.mpps << "}"
+          << (i + 1 < ab_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+
   if (telemetry) bench::dump_telemetry_snapshot();
   return 0;
 }

@@ -1,0 +1,46 @@
+#include "core/decision_table.hpp"
+
+#include <bit>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace disco::core {
+
+DecisionTable::DecisionTable(const util::GeometricScale& scale,
+                             std::uint64_t c_max)
+    : b_(scale.b()), bm1_(scale.b() - 1.0), c_max_(std::min(c_max, kMaxCmax)) {
+  // Entries 0..c_max+1: the sentinel at c_max+1 lets a decision that lands
+  // exactly one past the widest representable counter still resolve here.
+  // The values MUST be produced by the same GeometricScale calls the scalar
+  // decide path makes -- that identity is what makes table decisions
+  // bit-identical to transcendental ones.
+  f_.reserve(c_max_ + 2);
+  step_.reserve(c_max_ + 2);
+  for (std::uint64_t c = 0; c <= c_max_ + 1; ++c) {
+    const double fc = scale.f(static_cast<double>(c));
+    if (!std::isfinite(fc)) break;  // saturated tail: scalar fallback territory
+    f_.push_back(fc);
+    step_.push_back(scale.step(static_cast<double>(c)));
+  }
+  // f(0) = 0 and f(1) = 1 are always finite, so at least c_max_ = 0 remains.
+  c_max_ = static_cast<std::uint64_t>(f_.size()) - 2;
+}
+
+std::shared_ptr<const DecisionTable> DecisionTable::shared(
+    const util::GeometricScale& scale, std::uint64_t c_max) {
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+  static std::mutex mutex;
+  static std::map<Key, std::weak_ptr<const DecisionTable>> cache;
+
+  const Key key{std::bit_cast<std::uint64_t>(scale.b()),
+                std::min(c_max, kMaxCmax)};
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[key];
+  if (auto existing = slot.lock()) return existing;
+  auto table = std::make_shared<const DecisionTable>(scale, c_max);
+  slot = table;
+  return table;
+}
+
+}  // namespace disco::core

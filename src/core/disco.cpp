@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace disco::core {
 
@@ -42,15 +43,21 @@ double probit(double p) {
 
 }  // namespace
 
-UpdateDecision DiscoParams::decide(std::uint64_t c, std::uint64_t l) const noexcept {
-  return decide_real(c, static_cast<double>(l));
+void DiscoParams::attach_table(std::shared_ptr<const DecisionTable> table) {
+  if (!table) {
+    table_.reset();
+    return;
+  }
+  if (table->b() != scale_.b()) {
+    throw std::invalid_argument(
+        "DiscoParams::attach_table: table built for a different base b");
+  }
+  table_ = std::move(table);
 }
 
 UpdateDecision DiscoParams::decide_real(std::uint64_t c, double l) const noexcept {
   const auto& s = scale();
-  const double ln_b = s.ln_b();
-  const double bm1 = s.b() - 1.0;
-  const double fc = std::expm1(static_cast<double>(c) * ln_b) / bm1;
+  const double fc = s.f(static_cast<double>(c));
   const double target = fc + l;
   if (!std::isfinite(target)) {
     // The counter sits beyond double range (far past any provisioned
@@ -59,26 +66,38 @@ UpdateDecision DiscoParams::decide_real(std::uint64_t c, double l) const noexcep
     return UpdateDecision{0, 0.0};
   }
 
-  // j = ceil(f^-1(target)) = smallest integer >= c+1 with f(j) >= target.
-  // Computed via the closed form, then nudged to defeat floating-point noise
-  // at exact-integer landings (where p_d must come out as 1, not roll over to
-  // the next step with p_d ~ 0).
-  const double j_real = std::log1p(target * bm1) / ln_b;
+  // j = the smallest integer >= c+1 with f(j) >= target, up to a relative
+  // tolerance that forgives float noise at exact-integer landings (where
+  // p_d must come out as 1, not roll over to the next step with p_d ~ 0).
+  // The closed form gives the neighbourhood; direct comparisons against the
+  // SAME f the DecisionTable stores make the landing canonical, so table
+  // and transcendental decisions agree bit for bit.
+  const double cutoff = target - 1e-9 * std::max(1.0, target);
+  const double j_real = s.f_inv(target);
+  if (!std::isfinite(j_real)) {
+    // target*(b-1) overflowed inside f^-1 even though the target itself is
+    // finite (reachable by merging two nearly-saturated counters at large
+    // b): saturate, mirroring the !isfinite(target) branch, instead of
+    // feeding inf to the ceil cast below.
+    return UpdateDecision{0, 0.0};
+  }
   auto j = static_cast<std::uint64_t>(std::ceil(j_real - 1e-9));
   if (j <= c) j = c + 1;
-  const double tolerance = 1e-9 * std::max(1.0, target);
-  // One exp serves both f(j-1) = (b^(j-1) - 1)/(b - 1) and the interval
-  // width f(j) - f(j-1) = b^(j-1); the nudge loop rarely iterates.
-  double b_jm1 = std::exp(static_cast<double>(j - 1) * ln_b);
-  while ((b_jm1 * s.b() - 1.0) / bm1 < target - tolerance) {
+  double f_prev = s.f(static_cast<double>(j - 1));  // f(j-1)
+  while (j > c + 1 && f_prev >= cutoff) {
+    --j;
+    f_prev = s.f(static_cast<double>(j - 1));
+  }
+  for (double f_j = s.f(static_cast<double>(j)); f_j < cutoff;
+       f_j = s.f(static_cast<double>(j))) {
     ++j;
-    b_jm1 *= s.b();
+    f_prev = f_j;
   }
 
   UpdateDecision d;
   d.delta = j - c - 1;
-  const double f_lo = (b_jm1 - 1.0) / bm1;
-  d.p_d = std::clamp((target - f_lo) / b_jm1, 0.0, 1.0);
+  d.p_d = std::clamp((target - f_prev) / s.step(static_cast<double>(j - 1)),
+                     0.0, 1.0);
   return d;
 }
 
@@ -89,7 +108,7 @@ std::uint64_t DiscoParams::merge(std::uint64_t c1, std::uint64_t c2,
   // Apply f(c2) -- the second counter's traffic estimate -- as one real-
   // valued discounted update to c1: E[f(result)] = f(c1) + f(c2).
   const double addend = estimate(c2);
-  const UpdateDecision d = decide_real(c1, addend);
+  const UpdateDecision d = decide_value(c1, addend);
   return c1 + d.delta + (rng.bernoulli(d.p_d) ? 1 : 0);
 }
 

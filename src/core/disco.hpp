@@ -19,7 +19,10 @@
 //
 // This header provides:
 //   * DiscoParams     -- base b plus a provisioning factory from an SRAM
-//                        budget (counter bits + largest expected flow);
+//                        budget (counter bits + largest expected flow); an
+//                        attached DecisionTable (core/decision_table.hpp)
+//                        makes decide/update transcendental-free with
+//                        bit-identical decisions;
 //   * DiscoCounter    -- a single counter, double-precision math path;
 //   * DiscoArray      -- N counters bit-packed at exactly `bits` per counter
 //                        with overflow accounting;
@@ -28,23 +31,21 @@
 //                        as one discounted update.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "core/decision_table.hpp"
 #include "util/bitpack.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 
 namespace disco::core {
 
-/// Result of a single counter-update computation, exposed for tests, the
-/// fixed-point implementation, and the walkthrough example (paper Fig. 1).
-struct UpdateDecision {
-  std::uint64_t delta = 0;  ///< deterministic part of the increment
-  double p_d = 0.0;         ///< probability of the extra +1
-};
-
-/// Parameters of a DISCO deployment: the base b (and derived scale).
+/// Parameters of a DISCO deployment: the base b (and derived scale), plus an
+/// optional attached DecisionTable fast path.
 class DiscoParams {
  public:
   explicit DiscoParams(double b) : scale_(b) {}
@@ -76,8 +77,29 @@ class DiscoParams {
     return scale_.f_inv(n);
   }
 
+  // --- decision-table fast path ----------------------------------------------
+  /// Attaches a precomputed DecisionTable so decide()/update() resolve
+  /// without transcendentals for counter values up to the table's c_max.
+  /// Decisions are bit-identical to the unattached path (same delta, same
+  /// p_d, same RNG consumption), so attaching a table is purely a
+  /// performance choice.  `table` must have been built for this b.
+  void attach_table(std::shared_ptr<const DecisionTable> table);
+
+  /// Builds (or fetches from the process-wide cache) a table covering
+  /// counter values up to c_max and attaches it.
+  void attach_table(std::uint64_t c_max) {
+    attach_table(DecisionTable::shared(scale_, c_max));
+  }
+
+  void detach_table() noexcept { table_.reset(); }
+  [[nodiscard]] const DecisionTable* decision_table() const noexcept {
+    return table_.get();
+  }
+
   /// Computes (delta, p_d) for counter value c and packet length l > 0.
-  [[nodiscard]] UpdateDecision decide(std::uint64_t c, std::uint64_t l) const noexcept;
+  [[nodiscard]] UpdateDecision decide(std::uint64_t c, std::uint64_t l) const noexcept {
+    return decide_value(c, static_cast<double>(l));
+  }
 
   /// Merges two DISCO counters of the SAME deployment (same b) into one:
   /// the result estimates the combined traffic, unbiasedly.  Works in
@@ -108,11 +130,37 @@ class DiscoParams {
     return c + d.delta + (rng.bernoulli(d.p_d) ? 1 : 0);
   }
 
+  /// Applies Algorithm 1 to each (counter, length) pair in order, in place.
+  /// Consumes the RNG stream exactly as the equivalent sequence of update()
+  /// calls would, so batched and one-at-a-time ingestion are
+  /// interchangeable; the point of the batch is keeping the attached
+  /// decision table hot in cache across it.  Spans must be equally sized.
+  void update_batch(std::span<std::uint64_t> counters,
+                    std::span<const std::uint64_t> lengths,
+                    util::Rng& rng) const noexcept {
+    assert(counters.size() == lengths.size());
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      counters[i] = update(counters[i], lengths[i], rng);
+    }
+  }
+
  private:
-  /// Algorithm 1's decision for a real-valued addend (merge path).
+  /// Routes a decision to the attached table when it can resolve it, with
+  /// the scalar path as the (bit-identical) fallback for detached params,
+  /// counters beyond the table, and targets overrunning it.
+  [[nodiscard]] UpdateDecision decide_value(std::uint64_t c, double l) const noexcept {
+    if (const DecisionTable* t = table_.get(); t && c <= t->c_max()) {
+      UpdateDecision d;
+      if (t->decide(c, l, d)) return d;
+    }
+    return decide_real(c, l);
+  }
+
+  /// Algorithm 1's decision via transcendentals, for any real addend.
   [[nodiscard]] UpdateDecision decide_real(std::uint64_t c, double l) const noexcept;
 
   util::GeometricScale scale_;
+  std::shared_ptr<const DecisionTable> table_;
 };
 
 /// A single DISCO counter (value + params reference semantics kept simple by
@@ -154,10 +202,27 @@ class DiscoArray {
   [[nodiscard]] std::size_t storage_bits() const noexcept { return store_.storage_bits(); }
   [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflows_; }
 
+  /// Attaches a decision table sized to this array's counter width, so
+  /// every reachable counter value resolves through the fast path (see
+  /// core/decision_table.hpp; decisions stay bit-identical).
+  void attach_decision_table() { params_.attach_table(store_.max_value()); }
+
   void add(std::size_t i, std::uint64_t l, util::Rng& rng) noexcept {
     const std::uint64_t c = store_.get(i);
     const std::uint64_t next = params_.update(c, l, rng);
     if (!store_.try_add(i, next - c)) ++overflows_;
+  }
+
+  /// Applies add(slots[i], lengths[i]) for each i in order; RNG consumption
+  /// is identical to the equivalent sequence of add() calls.  Spans must be
+  /// equally sized.
+  void add_batch(std::span<const std::size_t> slots,
+                 std::span<const std::uint64_t> lengths,
+                 util::Rng& rng) noexcept {
+    assert(slots.size() == lengths.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      add(slots[i], lengths[i], rng);
+    }
   }
 
   [[nodiscard]] std::uint64_t value(std::size_t i) const noexcept { return store_.get(i); }

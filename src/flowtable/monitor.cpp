@@ -57,6 +57,12 @@ FlowMonitor::FlowMonitor(const Config& config)
             core::DiscoParams::for_budget(config.max_flow_packets, config.counter_bits)),
       last_seen_ns_(config.max_flows, 0),
       rng_(config.seed) {
+  if (config.decision_table) {
+    // Transcendental-free update fast path; decisions stay bit-identical,
+    // and the process-wide table cache de-duplicates across shards.
+    volume_.attach_decision_table();
+    size_.attach_decision_table();
+  }
   auto& registry = telemetry::Registry::global();
   const std::string& prefix = config_.telemetry_prefix;
   metrics_.ingests = &registry.counter(prefix + ".ingest_total");
@@ -73,21 +79,35 @@ bool FlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
 
 bool FlowMonitor::ingest_burst(const FiveTuple& flow, std::uint64_t bytes,
                                std::uint64_t packets, std::uint64_t now_ns) {
-  const auto slot = table_.insert_or_get(flow);
-  if (!slot) {
-    metrics_.rejects->inc(packets);
-    return false;
+  const FlowBurst burst{flow, bytes, packets, now_ns};
+  return ingest_batch({&burst, 1}) == 1;
+}
+
+std::size_t FlowMonitor::ingest_batch(std::span<const FlowBurst> bursts) {
+  std::size_t accepted = 0;
+  std::uint64_t accepted_packets = 0;
+  std::uint64_t rejected_packets = 0;
+  for (const FlowBurst& burst : bursts) {
+    const auto slot = table_.insert_or_get(burst.flow);
+    if (!slot) {
+      rejected_packets += burst.packets;
+      continue;
+    }
+    // Volume before size, always: a burst of one packet consumes the RNG
+    // stream exactly as the per-packet path did, keeping the batch,
+    // per-burst, and per-packet paths (and snapshots taken across them)
+    // interchangeable.
+    volume_.add(*slot, burst.bytes, rng_);
+    size_.add(*slot, burst.packets, rng_);
+    last_seen_ns_[*slot] = burst.last_ns;
+    accepted_packets += burst.packets;
+    ++accepted;
   }
-  // Volume before size, always: a burst of one packet consumes the RNG
-  // stream exactly as the per-packet path did, keeping the two paths (and
-  // snapshots taken across them) interchangeable.
-  volume_.add(*slot, bytes, rng_);
-  size_.add(*slot, packets, rng_);
-  last_seen_ns_[*slot] = now_ns;
-  packets_seen_ += packets;
-  metrics_.ingests->inc(packets);
+  packets_seen_ += accepted_packets;
+  metrics_.rejects->inc(rejected_packets);
+  metrics_.ingests->inc(accepted_packets);
   metrics_.occupancy->set(static_cast<std::int64_t>(table_.size()));
-  return true;
+  return accepted;
 }
 
 std::vector<FlowMonitor::FlowEstimate> FlowMonitor::evict_idle(

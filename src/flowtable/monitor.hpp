@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/disco.hpp"
+#include "flowtable/burst.hpp"
 #include "flowtable/flow_table.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/packet.hpp"
@@ -36,6 +38,12 @@ class FlowMonitor {
     std::uint64_t max_flow_bytes = std::uint64_t{1} << 32;
     std::uint64_t max_flow_packets = std::uint64_t{1} << 24;
     std::uint64_t seed = 0x5eed;
+    /// Attach core::DecisionTable fast paths to the volume and size
+    /// counters (transcendental-free updates, bit-identical decisions --
+    /// see src/core/decision_table.hpp).  Purely a performance knob: the
+    /// estimate and RNG streams are unchanged either way, so it is not
+    /// persisted by snapshot()/restore().
+    bool decision_table = true;
     /// Registry prefix for this monitor's metrics (docs/telemetry.md).
     /// Instances sharing a prefix share counters; ShardedFlowMonitor gives
     /// each shard its own.  Not persisted by snapshot()/restore().
@@ -62,6 +70,14 @@ class FlowMonitor {
   /// packet for packet.
   bool ingest_burst(const FiveTuple& flow, std::uint64_t bytes,
                     std::uint64_t packets, std::uint64_t now_ns = 0);
+
+  /// Counts a batch of pre-aggregated bursts in order.  Exactly equivalent
+  /// to calling ingest_burst once per element (same RNG stream, same
+  /// estimates, same rejection behaviour); the batch form amortises
+  /// telemetry updates and keeps the attached decision tables hot across
+  /// the whole batch -- the pipeline's pop-batch loop feeds it directly.
+  /// Returns the number of bursts accepted into the flow table.
+  std::size_t ingest_batch(std::span<const FlowBurst> bursts);
 
   /// Per-flow on-line estimates.
   struct FlowEstimate {

@@ -27,18 +27,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "flowtable/burst.hpp"
 #include "flowtable/flow_key.hpp"
 
 namespace disco::pipeline {
 
 /// One merged run of same-flow packets, ready to be applied as a single
-/// discounted volume update (bytes) and size update (packets).
-struct BurstUpdate {
-  flowtable::FiveTuple flow{};
-  std::uint64_t bytes = 0;
-  std::uint64_t packets = 0;
-  std::uint64_t last_ns = 0;  ///< newest packet's timestamp (idle eviction)
-};
+/// discounted volume update (bytes) and size update (packets).  The type
+/// lives in flowtable (the layer that consumes it) so the monitor's batch
+/// ingest API can name it without depending on the pipeline.
+using BurstUpdate = flowtable::FlowBurst;
 
 class BurstCoalescer {
  public:

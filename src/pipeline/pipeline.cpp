@@ -76,6 +76,11 @@ struct PipelineMonitor::Worker {
 
   flowtable::FlowMonitor monitor;
   BurstCoalescer coalescer;
+  /// Scratch buffer: bursts emitted by the coalescer for one popped batch,
+  /// applied in one monitor.ingest_batch() call so the DISCO decision
+  /// tables stay hot across the whole batch.  Emission order is preserved,
+  /// so the RNG stream is identical to per-burst ingest.
+  std::vector<flowtable::FlowBurst> bursts;
   std::vector<std::unique_ptr<SpscRing<Message>>> rings;
   bool stop_requested = false;         ///< worker-thread-local exit flag
   std::uint64_t merged_reported = 0;   ///< coalescer.merged() already exported
@@ -135,6 +140,9 @@ PipelineMonitor::PipelineMonitor(const Config& config)
     workers_.push_back(std::make_unique<Worker>(shard, config.coalescer,
                                                 producers_, config.ring_capacity));
     Worker& worker = *workers_.back();
+    // One coalescer add() emits at most two bursts (collision close + cap
+    // close), so this bound makes the steady-state batch loop allocation-free.
+    worker.bursts.reserve(config.pop_batch * 2);
     const std::string& prefix = shard.telemetry_prefix;
     worker.occupancy = &registry.gauge(prefix + ".ring_occupancy");
     worker.pop_batch = &registry.histogram(prefix + ".pop_batch");
@@ -182,13 +190,20 @@ bool PipelineMonitor::ingest(unsigned producer, const FiveTuple& flow,
 
 void PipelineMonitor::process_batch(Worker& worker, const Message* batch,
                                     std::size_t n) {
-  auto apply = [&worker](const BurstUpdate& burst) {
-    (void)worker.monitor.ingest_burst(burst.flow, burst.bytes, burst.packets,
-                                      burst.last_ns);
+  // Collect the coalescer's emissions for the whole popped batch, then apply
+  // them as one batched ingest.  Same bursts in the same order as calling
+  // ingest_burst per emission, so estimates and the RNG stream are
+  // bit-identical -- the batch form only amortises per-call overhead and
+  // keeps the decision tables resident in cache.
+  worker.bursts.clear();
+  auto buffer = [&worker](const BurstUpdate& burst) {
+    worker.bursts.push_back(burst);
   };
   for (std::size_t i = 0; i < n; ++i) {
-    worker.coalescer.add(batch[i].flow, batch[i].length, batch[i].now_ns, apply);
+    worker.coalescer.add(batch[i].flow, batch[i].length, batch[i].now_ns,
+                         buffer);
   }
+  (void)worker.monitor.ingest_batch(worker.bursts);
   const std::uint64_t merged = worker.coalescer.merged();
   if (merged != worker.merged_reported) {
     worker.coalesced->inc(merged - worker.merged_reported);

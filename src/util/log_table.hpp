@@ -24,6 +24,15 @@
 // All table values are integers; the quantised regulation function ftilde is
 // forced to be strictly increasing so that update probabilities are always
 // well defined.
+//
+// Relation to core/decision_table.hpp: both are precomputed f/b^c tables,
+// but they answer different questions.  This one models the *hardware*
+// constraint -- 32-bit entries with 20/12-bit quantised mantissas, so its
+// decisions define a slightly different (still unbiased w.r.t. ftilde)
+// estimator.  The host-side DecisionTable stores full-precision doubles
+// (the exact values GeometricScale computes), so it is a pure lookup
+// acceleration of the double path with bit-identical decisions -- no new
+// estimator, no added variance, just no transcendentals on the hot path.
 #pragma once
 
 #include <cstdint>

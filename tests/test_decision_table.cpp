@@ -1,0 +1,258 @@
+// DecisionTable: the transcendental-free DISCO update fast path
+// (src/core/decision_table.hpp).  The contract under test is strict
+// BIT-IDENTITY with the double-precision path: same delta, same p_d (to the
+// last mantissa bit), same RNG consumption -- so attaching a table can never
+// change an estimate, a parity baseline, or a snapshot.
+#include "core/decision_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/disco.hpp"
+#include "core/theory.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace disco::core {
+namespace {
+
+/// EXPECT bitwise equality of doubles: NaN == NaN, +0 != -0.  Parity must
+/// hold at this strength because p_d feeds rng.bernoulli() -- any mantissa
+/// difference could flip a coin and desynchronise the RNG stream.
+void expect_bits_eq(double a, double b, const std::string& what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+struct SweepConfig {
+  std::uint64_t max_flow;
+  int bits;
+};
+
+// The ISSUE acceptance sweep: EVERY counter value the table covers, crossed
+// with the packet lengths that matter (min, typical, MTU, jumbo, and the
+// provisioning-limit addend), at two counter widths.  ~40k decisions; this
+// is the proof that the fast path is a pure lookup optimisation.
+TEST(DecisionTable, ExhaustiveParityWithDoublePath) {
+  const std::vector<SweepConfig> configs = {
+      {std::uint64_t{1} << 30, 12},
+      {std::uint64_t{1} << 24, 8},
+  };
+  for (const auto& config : configs) {
+    const DiscoParams plain = DiscoParams::for_budget(config.max_flow, config.bits);
+    DiscoParams fast = plain;
+    const std::uint64_t c_max = (std::uint64_t{1} << config.bits) - 1;
+    fast.attach_table(c_max);
+    ASSERT_NE(fast.decision_table(), nullptr);
+    ASSERT_EQ(fast.decision_table()->c_max(), c_max);
+
+    const std::uint64_t lens[] = {1, 64, 1500, 9000, config.max_flow};
+    for (std::uint64_t c = 0; c <= c_max; ++c) {
+      for (std::uint64_t l : lens) {
+        const UpdateDecision expected = plain.decide(c, l);
+        const UpdateDecision got = fast.decide(c, l);
+        ASSERT_EQ(got.delta, expected.delta)
+            << "bits=" << config.bits << " c=" << c << " l=" << l;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(got.p_d),
+                  std::bit_cast<std::uint64_t>(expected.p_d))
+            << "bits=" << config.bits << " c=" << c << " l=" << l
+            << " p_d " << got.p_d << " vs " << expected.p_d;
+      }
+    }
+  }
+}
+
+TEST(DecisionTable, TableEntriesMatchScaleExactly) {
+  // The table must store the very doubles GeometricScale computes -- that,
+  // not approximate agreement, is what makes the comparisons above hold.
+  const util::GeometricScale scale(util::choose_b(1 << 24, 10));
+  const auto table = DecisionTable::shared(scale, 1023);
+  for (std::uint64_t c = 0; c <= table->c_max() + 1; ++c) {
+    expect_bits_eq(table->f(c), scale.f(static_cast<double>(c)), "f");
+    expect_bits_eq(table->step(c), scale.step(static_cast<double>(c)), "step");
+  }
+}
+
+TEST(DecisionTable, RngStreamIdenticalAfterManyUpdates) {
+  // Drive two counters through the same packet stream, one with the table.
+  // Counters must agree after every step AND the RNGs must remain in
+  // lockstep (checked by comparing their next outputs at the end).
+  const DiscoParams plain = DiscoParams::for_budget(1 << 30, 12);
+  DiscoParams fast = plain;
+  fast.attach_table((std::uint64_t{1} << 12) - 1);
+
+  util::Rng rng_plain(77), rng_fast(77), lens(123);
+  std::uint64_t c_plain = 0, c_fast = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t l = lens.uniform_u64(1, 9000);
+    c_plain = plain.update(c_plain, l, rng_plain);
+    c_fast = fast.update(c_fast, l, rng_fast);
+    ASSERT_EQ(c_fast, c_plain) << "diverged at packet " << i;
+  }
+  EXPECT_EQ(rng_fast.next(), rng_plain.next());
+}
+
+TEST(DecisionTable, MergeParityWithDoublePath) {
+  const DiscoParams plain = DiscoParams::for_budget(1 << 30, 12);
+  DiscoParams fast = plain;
+  fast.attach_table((std::uint64_t{1} << 12) - 1);
+  for (std::uint64_t c1 : {0ull, 5ull, 117ull, 900ull, 4000ull}) {
+    for (std::uint64_t c2 : {1ull, 33ull, 512ull, 4095ull}) {
+      util::Rng rng_plain(c1 * 131 + c2), rng_fast(c1 * 131 + c2);
+      EXPECT_EQ(fast.merge(c1, c2, rng_fast), plain.merge(c1, c2, rng_plain))
+          << "c1=" << c1 << " c2=" << c2;
+      EXPECT_EQ(rng_fast.next(), rng_plain.next());
+    }
+  }
+}
+
+TEST(DecisionTable, SmallTableFallsBackBitIdentically) {
+  // A table covering only c <= 16: decisions above it (and targets beyond
+  // its last entry) must route to the scalar path and still agree.
+  const DiscoParams plain = DiscoParams::for_budget(1 << 24, 10);
+  DiscoParams fast = plain;
+  fast.attach_table(16);
+  for (std::uint64_t c = 0; c <= 64; ++c) {
+    for (std::uint64_t l : {1ull, 1500ull, 1ull << 24}) {
+      const UpdateDecision expected = plain.decide(c, l);
+      const UpdateDecision got = fast.decide(c, l);
+      ASSERT_EQ(got.delta, expected.delta) << "c=" << c << " l=" << l;
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got.p_d),
+                std::bit_cast<std::uint64_t>(expected.p_d))
+          << "c=" << c << " l=" << l;
+    }
+  }
+}
+
+TEST(DecisionTable, OverflowSaturationParityAtExtremeCounters) {
+  // b = 3 overflows double range near c ~ 646: the table must truncate
+  // there, and decisions around the edge (where f(c), the target, or
+  // target*(b-1) goes non-finite) must agree with the guarded scalar path.
+  const DiscoParams plain(3.0);
+  DiscoParams fast = plain;
+  fast.attach_table(DecisionTable::kMaxCmax);
+  const DecisionTable* table = fast.decision_table();
+  ASSERT_NE(table, nullptr);
+  EXPECT_LT(table->c_max(), 700u);  // truncated well below the request
+  for (std::uint64_t c = 600; c <= table->c_max() + 8; ++c) {
+    for (std::uint64_t l : {std::uint64_t{1}, std::uint64_t{1} << 40,
+                            ~std::uint64_t{0} >> 1}) {
+      const UpdateDecision expected = plain.decide(c, l);
+      const UpdateDecision got = fast.decide(c, l);
+      ASSERT_EQ(got.delta, expected.delta) << "c=" << c << " l=" << l;
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got.p_d),
+                std::bit_cast<std::uint64_t>(expected.p_d))
+          << "c=" << c << " l=" << l;
+    }
+  }
+}
+
+TEST(DecisionTable, SharedCacheReturnsSameTable) {
+  const util::GeometricScale scale(1.0125);
+  const auto a = DecisionTable::shared(scale, 4095);
+  const auto b = DecisionTable::shared(scale, 4095);
+  EXPECT_EQ(a.get(), b.get());  // one table per (b, c_max) process-wide
+  const auto c = DecisionTable::shared(scale, 255);
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(DecisionTable, StorageIsTwoDoublesPerEntry) {
+  const util::GeometricScale scale(1.02);
+  const DecisionTable table(scale, 1023);
+  // Entries 0..c_max+1 (sentinel), two doubles each: f and b^c.
+  EXPECT_EQ(table.storage_bytes(), (1023 + 2) * 2 * sizeof(double));
+}
+
+TEST(DecisionTable, AttachRejectsMismatchedBase) {
+  DiscoParams params(1.02);
+  const util::GeometricScale other(1.05);
+  EXPECT_THROW(params.attach_table(DecisionTable::shared(other, 255)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(params.attach_table(nullptr));  // detach via null is fine
+}
+
+TEST(DecisionTable, UpdateBatchMatchesSequentialUpdates) {
+  DiscoParams params = DiscoParams::for_budget(1 << 30, 12);
+  params.attach_table((std::uint64_t{1} << 12) - 1);
+
+  util::Rng lens(5);
+  std::vector<std::uint64_t> counters_batch(257, 0), counters_seq(257, 0);
+  std::vector<std::uint64_t> lengths(257);
+  for (auto& l : lengths) l = lens.uniform_u64(40, 1500);
+
+  util::Rng rng_batch(9), rng_seq(9);
+  params.update_batch(counters_batch, lengths, rng_batch);
+  for (std::size_t i = 0; i < counters_seq.size(); ++i) {
+    counters_seq[i] = params.update(counters_seq[i], lengths[i], rng_seq);
+  }
+  EXPECT_EQ(counters_batch, counters_seq);
+  EXPECT_EQ(rng_batch.next(), rng_seq.next());
+}
+
+TEST(DecisionTable, ArrayAddBatchMatchesSequentialAdds) {
+  const auto params = DiscoParams::for_budget(1 << 30, 12);
+  DiscoArray batched(64, 12, params);
+  DiscoArray sequential(64, 12, params);
+  batched.attach_decision_table();  // only one side uses the fast path
+
+  util::Rng source(21);
+  std::vector<std::size_t> slots(500);
+  std::vector<std::uint64_t> lengths(500);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i] = source.uniform_u64(0, 63);
+    lengths[i] = source.uniform_u64(40, 9000);
+  }
+
+  util::Rng rng_batch(33), rng_seq(33);
+  batched.add_batch(slots, lengths, rng_batch);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    sequential.add(slots[i], lengths[i], rng_seq);
+  }
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched.value(i), sequential.value(i)) << "slot " << i;
+  }
+  EXPECT_EQ(rng_batch.next(), rng_seq.next());
+}
+
+TEST(DecisionTable, EstimatesStayUnbiasedAndWithinTheorem2Cv) {
+  // Statistical closure through the table path: counting n bytes many times
+  // must land on n in the mean with relative spread within the Theorem 2
+  // bound.  (Parity already implies this -- the check guards the harness
+  // itself against a future change that breaks both paths together.)
+  DiscoParams params = DiscoParams::for_budget(1 << 24, 12);
+  params.attach_table((std::uint64_t{1} << 12) - 1);
+  const double cv_limit = theory::cv_bound(params.b());
+
+  constexpr int kTrials = 400;
+  constexpr int kPackets = 300;
+  util::Rng rng(2026);
+  double sum = 0.0, sum_sq = 0.0;
+  std::uint64_t n = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t c = 0, total = 0;
+    util::Rng lens(1000 + t);
+    for (int p = 0; p < kPackets; ++p) {
+      const std::uint64_t l = lens.uniform_u64(64, 1500);
+      c = params.update(c, l, rng);
+      total += l;
+    }
+    n = total;  // same per-trial total: lens streams differ only in order
+    const double est = params.estimate(c);
+    sum += est;
+    sum_sq += est * est;
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+  const double cv = std::sqrt(std::max(0.0, var)) / mean;
+  // Trial totals differ slightly (independent length streams), which only
+  // widens the spread -- the bound plus sampling slack must still hold.
+  EXPECT_NEAR(mean, static_cast<double>(n), 0.05 * static_cast<double>(n));
+  EXPECT_LT(cv, cv_limit * 1.5 + 0.02);
+}
+
+}  // namespace
+}  // namespace disco::core

@@ -196,6 +196,22 @@ TEST(DiscoArray, MaxValueAndStorageAccounting) {
   EXPECT_EQ(array.max_value(), array.value(7));
 }
 
+TEST(DiscoParams, MergeSaturatesInsteadOfOverflowingAtExtremeCounters) {
+  // Regression: f(646) with b = 3 is ~8.4e307, so merging two such
+  // counters makes target = f(c1) + f(c2) finite but target * (b - 1)
+  // infinite -- f_inv(target) is then non-finite, and the decision loop
+  // used to cast that to an integer (undefined behaviour).  The guarded
+  // path must saturate: no movement, no UB, deterministically.
+  const DiscoParams params(3.0);
+  util::Rng rng(53);
+  EXPECT_EQ(params.merge(646, 646, rng), 646u);
+  // Fully infinite targets saturate the same way.
+  EXPECT_EQ(params.merge(700, 700, rng), 700u);
+  // And an ordinary in-range merge still moves the counter: absorbing
+  // f(20) into c = 10 must land well above 10.
+  EXPECT_GT(params.merge(10, 20, rng), 10u);
+}
+
 TEST(BurstAggregator, AccumulatesUntilFlush) {
   DiscoParams params(1.01);
   BurstAggregator burst(params);

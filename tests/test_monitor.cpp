@@ -109,5 +109,73 @@ TEST(FlowMonitor, DeterministicUnderSeed) {
   EXPECT_NE(run(1), run(2));
 }
 
+TEST(FlowMonitor, IngestBatchMatchesSequentialBursts) {
+  // The batch API's contract is exact equivalence: same accepted count,
+  // same counters, same RNG stream position as per-element ingest_burst.
+  std::vector<FlowBurst> bursts;
+  util::Rng source(7);
+  for (int i = 0; i < 3000; ++i) {
+    bursts.push_back(FlowBurst{tuple(static_cast<std::uint32_t>(i % 600)),
+                               source.uniform_u64(64, 90'000),
+                               source.uniform_u64(1, 60),
+                               static_cast<std::uint64_t>(i) * 1000});
+  }
+
+  FlowMonitor batched(small_config());
+  FlowMonitor sequential(small_config());
+  std::size_t accepted_batched = batched.ingest_batch(bursts);
+  std::size_t accepted_seq = 0;
+  for (const FlowBurst& b : bursts) {
+    accepted_seq += sequential.ingest_burst(b.flow, b.bytes, b.packets,
+                                            b.last_ns)
+                        ? 1
+                        : 0;
+  }
+  // max_flows = 512 < 600 distinct flows: both paths must reject the same
+  // tail bursts.
+  EXPECT_EQ(accepted_batched, accepted_seq);
+  EXPECT_LT(accepted_batched, bursts.size());
+  EXPECT_EQ(batched.packets_seen(), sequential.packets_seen());
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    const auto eb = batched.query(tuple(i));
+    const auto es = sequential.query(tuple(i));
+    ASSERT_EQ(eb.has_value(), es.has_value()) << "flow " << i;
+    if (eb) {
+      ASSERT_EQ(eb->bytes, es->bytes) << "flow " << i;
+      ASSERT_EQ(eb->packets, es->packets) << "flow " << i;
+    }
+  }
+  // RNG streams still in lockstep: one more identical ingest on each side
+  // must stay bit-identical.
+  ASSERT_TRUE(batched.ingest(tuple(3), 999));
+  ASSERT_TRUE(sequential.ingest(tuple(3), 999));
+  EXPECT_EQ(batched.query(tuple(3))->bytes, sequential.query(tuple(3))->bytes);
+}
+
+TEST(FlowMonitor, DecisionTableDoesNotChangeEstimates) {
+  // The config knob toggles only the fast path; every estimate must be
+  // bit-identical either way (the DecisionTable parity guarantee, observed
+  // end to end through the monitor).
+  auto config_on = small_config();
+  auto config_off = small_config();
+  config_off.decision_table = false;
+  FlowMonitor with_table(config_on);
+  FlowMonitor without(config_off);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto t = tuple(static_cast<std::uint32_t>(i % 101));
+    const auto len = 64 + static_cast<std::uint32_t>((i * 37) % 9000);
+    ASSERT_TRUE(with_table.ingest(t, len));
+    ASSERT_TRUE(without.ingest(t, len));
+  }
+  for (std::uint32_t i = 0; i < 101; ++i) {
+    const auto a = with_table.query(tuple(i));
+    const auto b = without.query(tuple(i));
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    ASSERT_EQ(a->bytes, b->bytes) << "flow " << i;
+    ASSERT_EQ(a->packets, b->packets) << "flow " << i;
+  }
+  EXPECT_EQ(with_table.totals().bytes, without.totals().bytes);
+}
+
 }  // namespace
 }  // namespace disco::flowtable
