@@ -27,9 +27,11 @@ int main() {
     const std::uint64_t before = c;
     c = params.update(c, l, rng);
     full += l;
+    // std::string("+").append(...) instead of "+" + rvalue-string: gcc 12's
+    // -Wrestrict false-positives on that operator+ overload (PR105651).
     table.add_row({std::to_string(l), std::to_string(full),
-                   "+" + std::to_string(c - before), std::to_string(c),
-                   stats::fmt(params.estimate(c), 1)});
+                   std::string("+").append(std::to_string(c - before)),
+                   std::to_string(c), stats::fmt(params.estimate(c), 1)});
   }
   table.print(std::cout);
   std::cout << "\npaper reports increments +59 +220 +9 +33 -> counter 321 "

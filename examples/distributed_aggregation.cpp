@@ -58,10 +58,17 @@ int main(int argc, char** argv) {
 
     if (flow.id < 5) {
       const auto ci = params.confidence_interval(merged, 0.95);
+      // Built with append rather than "literal" + rvalue-string operator+:
+      // gcc 12's -Wrestrict false-positives on that overload (PR105651).
+      std::string interval = "[";
+      interval.append(stats::fmt(ci.low, 0))
+          .append(", ")
+          .append(stats::fmt(ci.high, 0))
+          .append("]");
       sample.add_row({std::to_string(flow.id),
                       std::to_string(flow.bytes()),
                       stats::fmt(ci.estimate, 0),
-                      "[" + stats::fmt(ci.low, 0) + ", " + stats::fmt(ci.high, 0) + "]",
+                      interval,
                       stats::fmt(params.estimate(central), 0)});
     }
   }

@@ -57,10 +57,13 @@ int main(int argc, char** argv) {
     std::size_t hits = 0;
     for (auto id : flagged) hits += true_elephants.count(id);
     const double precision =
-        flagged.empty() ? 1.0 : static_cast<double>(hits) / flagged.size();
+        flagged.empty() ? 1.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(flagged.size());
     const double recall = true_elephants.empty()
                               ? 1.0
-                              : static_cast<double>(hits) / true_elephants.size();
+                              : static_cast<double>(hits) /
+                                    static_cast<double>(true_elephants.size());
     const double f1 = (precision + recall) == 0.0
                           ? 0.0
                           : 2.0 * precision * recall / (precision + recall);

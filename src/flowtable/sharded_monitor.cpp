@@ -37,11 +37,9 @@ bool ShardedFlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
   Shard& shard = *shards_[shard_of(flow)];
   // try-lock-then-lock makes cross-thread contention countable without
   // slowing the uncontended path (one CAS either way).
-  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    shard.contention->inc();
-    lock.lock();
-  }
+  bool contended = false;
+  const util::MutexLock lock(shard.mutex, contended);
+  if (contended) shard.contention->inc();
   return shard.monitor.ingest(flow, length, now_ns);
 }
 
@@ -58,14 +56,14 @@ std::uint64_t ShardedFlowMonitor::lock_contentions() const {
 std::optional<FlowMonitor::FlowEstimate> ShardedFlowMonitor::query(
     const FiveTuple& flow) const {
   const Shard& shard = *shards_[shard_of(flow)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const util::MutexLock lock(shard.mutex);
   return shard.monitor.query(flow);
 }
 
 FlowMonitor::Totals ShardedFlowMonitor::totals() const {
   FlowMonitor::Totals aggregate;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     const auto t = shard->monitor.totals();
     aggregate.bytes += t.bytes;
     aggregate.packets += t.packets;
@@ -78,7 +76,7 @@ std::vector<FlowMonitor::FlowEstimate> ShardedFlowMonitor::top_k(
     std::size_t k) const {
   std::vector<FlowMonitor::FlowEstimate> all;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     auto local = shard->monitor.top_k(k);
     all.insert(all.end(), local.begin(), local.end());
   }
@@ -96,7 +94,7 @@ std::vector<FlowMonitor::FlowEstimate> ShardedFlowMonitor::top_k(
 FlowMonitor::MemoryReport ShardedFlowMonitor::memory() const {
   FlowMonitor::MemoryReport aggregate;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     const auto m = shard->monitor.memory();
     aggregate.volume_counter_bits += m.volume_counter_bits;
     aggregate.size_counter_bits += m.size_counter_bits;
@@ -109,7 +107,7 @@ FlowMonitor::EpochReport ShardedFlowMonitor::rotate() {
   FlowMonitor::EpochReport merged;
   bool first = true;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     auto report = shard->monitor.rotate();
     if (first) {
       merged.epoch = report.epoch;
@@ -128,7 +126,7 @@ std::vector<FlowMonitor::FlowEstimate> ShardedFlowMonitor::evict_idle(
     std::uint64_t now_ns, std::uint64_t idle_timeout_ns) {
   std::vector<FlowMonitor::FlowEstimate> merged;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     auto evicted = shard->monitor.evict_idle(now_ns, idle_timeout_ns);
     merged.insert(merged.end(), evicted.begin(), evicted.end());
   }
@@ -138,7 +136,7 @@ std::vector<FlowMonitor::FlowEstimate> ShardedFlowMonitor::evict_idle(
 std::uint64_t ShardedFlowMonitor::packets_seen() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     total += shard->monitor.packets_seen();
   }
   return total;

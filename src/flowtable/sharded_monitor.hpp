@@ -23,12 +23,13 @@
 // docs/telemetry.md for the catalogue.
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "flowtable/monitor.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace disco::flowtable {
 
@@ -81,10 +82,13 @@ class ShardedFlowMonitor {
  private:
   struct Shard {
     explicit Shard(const FlowMonitor::Config& config) : monitor(config) {}
-    mutable std::mutex mutex;
-    FlowMonitor monitor;
+    mutable util::Mutex mutex;
+    /// FlowMonitor is single-threaded by design; the shard mutex is the ONLY
+    /// thing making concurrent access safe, so the analysis enforces that no
+    /// path reaches the monitor without it.
+    FlowMonitor monitor DISCO_GUARDED_BY(mutex);
     telemetry::Counter* ingests = nullptr;     ///< same counter the monitor bumps
-    telemetry::Counter* contention = nullptr;
+    telemetry::Counter* contention = nullptr;  ///< set once at construction
   };
 
   [[nodiscard]] std::size_t shard_of(const FiveTuple& flow) const noexcept {

@@ -17,6 +17,19 @@
 // `pop_batch` drains up to `max` slots per call: the consumer pays the
 // acquire-load and the release-store once per *batch*, not once per packet,
 // which is where the pipeline's throughput over a mutex design comes from.
+//
+// Memory-ordering protocol (every atomic op below names its order; the
+// lint_disco.py atomic-memory-order rule keeps it that way):
+//   * own index, relaxed load: each side is the only writer of its own
+//     index, so reading it back needs no synchronisation at all;
+//   * foreign index, acquire load: paired with the opposite side's release
+//     store, it makes the slot bytes written before that store visible
+//     before they are read here -- the only happens-before edge the ring
+//     needs;
+//   * own index, release store: publishes the slot writes above it to the
+//     next acquire load on the other side.
+// Nothing is seq_cst: there is no third thread that could observe the two
+// indices out of order, so the global order seq_cst buys is unused cost.
 #pragma once
 
 #include <atomic>

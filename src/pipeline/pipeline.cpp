@@ -24,7 +24,7 @@ struct PipelineMonitor::Command {
     Stop,
   };
 
-  explicit Command(Op op) : op(op) {}
+  explicit Command(Op operation) : op(operation) {}
 
   Op op;
   // Inputs.
@@ -39,7 +39,11 @@ struct PipelineMonitor::Command {
   std::vector<FlowEstimate> flows;
   MemoryReport memory;
   std::uint64_t count = 0;
-  // Completion.
+  // Completion handshake.  Deliberately a plain std::mutex, not the
+  // annotated util::Mutex: the condition-variable wait needs the std type,
+  // and Thread Safety Analysis cannot model a cv handshake anyway.  The pair
+  // is stack-local to one run_on_worker call and touched by exactly two
+  // threads (requester and worker), so the invariant is structural.
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
@@ -86,6 +90,8 @@ struct PipelineMonitor::Worker {
   std::uint64_t merged_reported = 0;   ///< coalescer.merged() already exported
 
   /// Race-free mirror of coalescer.merged() for cross-thread reads.
+  /// Relaxed store/load: a monotonic statistic read by coalesced(); readers
+  /// need a recent value, not ordering against other memory.
   alignas(kCacheLine) std::atomic<std::uint64_t> merged_mirror{0};
 
   telemetry::Gauge* occupancy = nullptr;
@@ -332,7 +338,7 @@ void PipelineMonitor::run_on_worker(unsigned w, Command& command) {
 }
 
 PipelineMonitor::EpochReport PipelineMonitor::rotate() {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   EpochReport merged;
   bool first = true;
   for (unsigned w = 0; w < workers_.size(); ++w) {
@@ -352,7 +358,7 @@ PipelineMonitor::EpochReport PipelineMonitor::rotate() {
 }
 
 PipelineMonitor::Totals PipelineMonitor::totals() {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   Totals aggregate;
   for (unsigned w = 0; w < workers_.size(); ++w) {
     Command command(Command::Op::Totals);
@@ -366,7 +372,7 @@ PipelineMonitor::Totals PipelineMonitor::totals() {
 
 std::optional<PipelineMonitor::FlowEstimate> PipelineMonitor::query(
     const FiveTuple& flow) {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   Command command(Command::Op::Query);
   command.flow = flow;
   run_on_worker(worker_of(flow, static_cast<unsigned>(workers_.size())), command);
@@ -374,7 +380,7 @@ std::optional<PipelineMonitor::FlowEstimate> PipelineMonitor::query(
 }
 
 std::vector<PipelineMonitor::FlowEstimate> PipelineMonitor::top_k(std::size_t k) {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   std::vector<FlowEstimate> all;
   for (unsigned w = 0; w < workers_.size(); ++w) {
     Command command(Command::Op::TopK);
@@ -392,7 +398,7 @@ std::vector<PipelineMonitor::FlowEstimate> PipelineMonitor::top_k(std::size_t k)
 }
 
 PipelineMonitor::MemoryReport PipelineMonitor::memory() {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   MemoryReport aggregate;
   for (unsigned w = 0; w < workers_.size(); ++w) {
     Command command(Command::Op::Memory);
@@ -405,7 +411,7 @@ PipelineMonitor::MemoryReport PipelineMonitor::memory() {
 }
 
 std::uint64_t PipelineMonitor::packets_seen() {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   std::uint64_t total = 0;
   for (unsigned w = 0; w < workers_.size(); ++w) {
     Command command(Command::Op::PacketsSeen);
@@ -417,7 +423,7 @@ std::uint64_t PipelineMonitor::packets_seen() {
 
 std::vector<PipelineMonitor::FlowEstimate> PipelineMonitor::evict_idle(
     std::uint64_t now_ns, std::uint64_t idle_timeout_ns) {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   std::vector<FlowEstimate> merged;
   for (unsigned w = 0; w < workers_.size(); ++w) {
     Command command(Command::Op::EvictIdle);
@@ -430,7 +436,7 @@ std::vector<PipelineMonitor::FlowEstimate> PipelineMonitor::evict_idle(
 }
 
 void PipelineMonitor::drain() {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   for (unsigned w = 0; w < workers_.size(); ++w) {
     Command command(Command::Op::Drain);
     run_on_worker(w, command);
@@ -438,7 +444,7 @@ void PipelineMonitor::drain() {
 }
 
 void PipelineMonitor::stop() {
-  const std::lock_guard<std::mutex> lock(control_mutex_);
+  const util::MutexLock lock(control_mutex_);
   if (!running_) return;
   accepting_.store(false, std::memory_order_release);
   for (unsigned w = 0; w < workers_.size(); ++w) {

@@ -52,6 +52,7 @@
 #include "pipeline/burst_coalescer.hpp"
 #include "pipeline/packet_ring.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace disco::pipeline {
 
@@ -100,30 +101,36 @@ class PipelineMonitor {
               std::uint64_t now_ns = 0);
 
   // --- control plane (thread-safe; in-band, never stops ingest) -------------
+  // All control-plane entry points serialise on control_mutex_ internally
+  // (DISCO_EXCLUDES documents they are not reentrant from a context already
+  // holding it -- e.g. from inside another control call on the same thread).
 
   /// Ends the epoch on every shard and merges the reports.  Shards rotate
   /// one after another on their own threads; concurrent packets land in the
   /// old or new epoch of their shard.
-  EpochReport rotate();
+  EpochReport rotate() DISCO_EXCLUDES(control_mutex_);
 
-  [[nodiscard]] Totals totals();
-  [[nodiscard]] std::optional<FlowEstimate> query(const FiveTuple& flow);
-  [[nodiscard]] std::vector<FlowEstimate> top_k(std::size_t k);
-  [[nodiscard]] MemoryReport memory();
-  [[nodiscard]] std::uint64_t packets_seen();
+  [[nodiscard]] Totals totals() DISCO_EXCLUDES(control_mutex_);
+  [[nodiscard]] std::optional<FlowEstimate> query(const FiveTuple& flow)
+      DISCO_EXCLUDES(control_mutex_);
+  [[nodiscard]] std::vector<FlowEstimate> top_k(std::size_t k)
+      DISCO_EXCLUDES(control_mutex_);
+  [[nodiscard]] MemoryReport memory() DISCO_EXCLUDES(control_mutex_);
+  [[nodiscard]] std::uint64_t packets_seen() DISCO_EXCLUDES(control_mutex_);
   std::vector<FlowEstimate> evict_idle(std::uint64_t now_ns,
-                                       std::uint64_t idle_timeout_ns);
+                                       std::uint64_t idle_timeout_ns)
+      DISCO_EXCLUDES(control_mutex_);
 
   /// Blocks until every packet enqueued BEFORE this call has been applied
   /// and all open bursts are flushed.  The caller must have quiesced the
   /// producers (no concurrent ingest), or drain may chase a moving target.
-  void drain();
+  void drain() DISCO_EXCLUDES(control_mutex_);
 
   /// Drains and joins the worker threads.  Idempotent.  After stop(), the
   /// control-plane queries above run directly on the (now thread-less)
   /// shards, so post-mortem inspection needs no workers.  Concurrent
   /// ingest() calls fail-fast with false once stop() begins.
-  void stop();
+  void stop() DISCO_EXCLUDES(control_mutex_);
 
   // --- introspection ---------------------------------------------------------
 
@@ -169,13 +176,15 @@ class PipelineMonitor {
   void process_batch(Worker& worker, const Message* batch, std::size_t n);
   void handle_command(Worker& worker, Command& command);
   /// Sends `command` to worker `w`'s command ring and waits for completion;
-  /// runs it inline when the workers are stopped.  Caller holds control_mutex_.
-  void run_on_worker(unsigned w, Command& command);
+  /// runs it inline when the workers are stopped.
+  void run_on_worker(unsigned w, Command& command) DISCO_REQUIRES(control_mutex_);
 
   Config config_;
   unsigned producers_ = 1;
 
   struct ProducerStats {
+    /// Bumped with relaxed fetch_add and read with relaxed loads: a pure
+    /// statistic, never used to order other memory.
     alignas(kCacheLine) std::atomic<std::uint64_t> dropped{0};
   };
 
@@ -183,10 +192,13 @@ class PipelineMonitor {
   std::vector<std::unique_ptr<ProducerStats>> producer_stats_;
 
   /// Serialises control-plane operations (one in-flight command set).
-  std::mutex control_mutex_;
-  std::atomic<bool> accepting_{true};  ///< flips off at stop()
-  bool running_ = false;               ///< workers alive (under control_mutex_)
-  std::vector<std::thread> threads_;
+  util::Mutex control_mutex_;
+  /// Flips off at stop().  release store / acquire loads: producers that
+  /// observe `false` must also observe every control-plane write that
+  /// preceded the flip, so none enqueues into a ring being drained down.
+  std::atomic<bool> accepting_{true};
+  bool running_ DISCO_GUARDED_BY(control_mutex_) = false;  ///< workers alive
+  std::vector<std::thread> threads_ DISCO_GUARDED_BY(control_mutex_);
 
   telemetry::Counter* dropped_metric_ = nullptr;
   telemetry::Counter* blocked_metric_ = nullptr;

@@ -112,7 +112,7 @@ class LatencyHistogram {
   /// Bucket index of a sample: exact below 16, log-linear above.
   [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
     if (v < 16) return static_cast<std::size_t>(v);
-    const int octave = std::bit_width(v) - 1;               // 4..63
+    const int octave = static_cast<int>(std::bit_width(v)) - 1;  // 4..63
     const auto sub = static_cast<std::size_t>((v >> (octave - 2)) & 3);
     return 16 + static_cast<std::size_t>(octave - 4) * 4 + sub;
   }

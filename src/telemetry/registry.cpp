@@ -5,20 +5,6 @@
 #include <algorithm>
 
 namespace disco::telemetry {
-namespace {
-
-template <typename Map>
-auto& find_or_create(Map& map, std::string_view name) {
-  auto it = map.find(name);
-  if (it == map.end()) {
-    it = map.emplace(std::string(name),
-                     std::make_unique<typename Map::mapped_type::element_type>())
-             .first;
-  }
-  return *it->second;
-}
-
-}  // namespace
 
 Registry& Registry::global() {
   static Registry registry;
@@ -26,22 +12,22 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return find_or_create(counters_, name);
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return find_or_create(gauges_, name);
 }
 
 LatencyHistogram& Registry::histogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return find_or_create(histograms_, name);
 }
 
 Snapshot Registry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Snapshot snapshot;
   snapshot.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
@@ -83,7 +69,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset_values() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->reset();
   for (const auto& [name, gauge] : gauges_) gauge->reset();
   for (const auto& [name, hist] : histograms_) hist->reset();

@@ -25,8 +25,9 @@
 #if DISCO_TELEMETRY
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/thread_annotations.hpp"
 #endif
 
 namespace disco::telemetry {
@@ -60,10 +61,28 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+  /// Finds or creates a metric in one of the maps below.  The maps own the
+  /// metrics through unique_ptr, so the returned reference survives later
+  /// rebalancing of the map itself.
+  template <typename Map>
+  [[nodiscard]] auto& find_or_create(Map& map, std::string_view name)
+      DISCO_REQUIRES(mutex_) {
+    auto it = map.find(name);
+    if (it == map.end()) {
+      it = map.emplace(std::string(name),
+                       std::make_unique<typename Map::mapped_type::element_type>())
+               .first;
+    }
+    return *it->second;
+  }
+
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DISCO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DISCO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_
+      DISCO_GUARDED_BY(mutex_);
 };
 
 #else  // DISCO_TELEMETRY == 0

@@ -101,8 +101,9 @@ void write_pcap(std::ostream& out, const std::vector<PacketRecord>& packets) {
     std::uint8_t* udp = ip + kIpv4Header;
     put_be16(udp, static_cast<std::uint16_t>(p.flow_id & 0xffff));
     put_be16(udp + 2, 4789);
-    put_be16(udp + 4, static_cast<std::uint16_t>(
-                          std::min<std::uint32_t>(wire_bytes - kIpv4Header, 0xffff)));
+    put_be16(udp + 4,
+             static_cast<std::uint16_t>(std::min<std::uint32_t>(
+                 wire_bytes - static_cast<std::uint32_t>(kIpv4Header), 0xffff)));
 
     out.write(reinterpret_cast<const char*>(frame.data()), frame.size());
   }

@@ -11,6 +11,7 @@
 // toward paper size.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <string>

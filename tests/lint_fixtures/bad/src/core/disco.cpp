@@ -1,0 +1,19 @@
+// Fixture: seeded hot-path-transcendental violation.  decide_real is NOT
+// in the whitelist for this file, so the std::log call below must be
+// flagged.
+#include "core/disco.hpp"
+
+#include <cmath>
+
+namespace disco::core {
+
+UpdateDecision DiscoParams::decide_real(std::uint64_t c,
+                                        std::uint64_t l) const noexcept {
+  UpdateDecision d;
+  const double target = static_cast<double>(c + l);
+  d.p_d = std::log(target);  // VIOLATION: transcendental on the hot path
+  d.delta = c;
+  return d;
+}
+
+}  // namespace disco::core

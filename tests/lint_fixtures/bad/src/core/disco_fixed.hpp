@@ -1,0 +1,19 @@
+// Fixture: seeded rng-call-site violation.  Only 'update' may draw in this
+// file; the helper below desynchronises the RNG stream contract and must
+// be flagged.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace disco::core {
+
+class FixedDisco {
+ public:
+  [[nodiscard]] std::uint64_t warm_up(util::Rng& rng) const noexcept {
+    return rng.uniform_u64(0, 9);  // VIOLATION: draw outside update
+  }
+};
+
+}  // namespace disco::core

@@ -1,0 +1,12 @@
+// Fixture: a suppression without a reason is itself an error -- the
+// exception must be documented, not just waved through.
+#include <cmath>
+
+namespace disco::core {
+
+double helper(double p) {
+  // disco-lint: allow(hot-path-transcendental)
+  return std::log(p);
+}
+
+}  // namespace disco::core

@@ -1,0 +1,27 @@
+// Fixture: seeded atomic-memory-order violations -- a defaulted .load()
+// and an operator-form increment, both implicit seq_cst.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace disco::pipeline {
+
+class MiniRing {
+ public:
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return head_.load() - tail_.load(std::memory_order_acquire);
+    // ^ VIOLATION: head_.load() defaults to seq_cst
+  }
+
+  void count() noexcept {
+    ops_++;  // VIOLATION: operator-form atomic increment
+  }
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> ops_{0};
+};
+
+}  // namespace disco::pipeline

@@ -1,0 +1,19 @@
+// Fixture: seeded header-self-contained violation (std::atomic with no
+// direct <atomic> include) plus a .store() without a memory_order.
+#pragma once
+
+#include <cstdint>
+
+namespace disco::telemetry {
+
+class MiniCounter {
+ public:
+  void reset() noexcept {
+    value_.store(0);  // VIOLATION: defaulted seq_cst
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};  // VIOLATION: <atomic> not included
+};
+
+}  // namespace disco::telemetry

@@ -1,0 +1,40 @@
+// Fixture: hot-path file that follows every invariant.  Transcendentals
+// appear only inside whitelisted cold-path functions; the RNG draw is in
+// the canonical merge site; one justified suppression exercises the
+// allow() syntax.
+#include "core/disco.hpp"
+
+#include <cmath>
+
+namespace disco::core {
+
+namespace {
+
+double probit(double p) {
+  // Whitelisted: table construction, not the per-packet path.
+  const double q = std::sqrt(-2.0 * std::log(p));
+  return q;
+}
+
+}  // namespace
+
+UpdateDecision DiscoParams::decide_real(std::uint64_t c,
+                                        std::uint64_t l) const noexcept {
+  UpdateDecision d;
+  d.delta = c + l;
+  // disco-lint: allow(hot-path-transcendental) one-time setup, off hot path
+  d.p_d = std::exp(-static_cast<double>(l));
+  return d;
+}
+
+std::uint64_t DiscoParams::merge(std::uint64_t c1, std::uint64_t c2,
+                                 util::Rng& rng) const noexcept {
+  const UpdateDecision d = decide_real(c1, c2);
+  return c1 + d.delta + (rng.bernoulli(d.p_d) ? 1 : 0);
+}
+
+double DiscoParams::confidence_interval(double level) const {
+  return std::sqrt(level) * probit(level);
+}
+
+}  // namespace disco::core

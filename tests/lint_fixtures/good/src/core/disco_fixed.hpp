@@ -1,0 +1,20 @@
+// Fixture: RNG draw confined to the canonical update function.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace disco::core {
+
+class FixedDisco {
+ public:
+  [[nodiscard]] std::uint64_t update(std::uint64_t c, std::uint64_t l,
+                                     util::Rng& rng) const noexcept {
+    if (l == 0) return c;
+    const bool extra = rng.uniform_u64(0, 9) < 5;
+    return c + (extra ? 1 : 0);
+  }
+};
+
+}  // namespace disco::core

@@ -1,0 +1,30 @@
+// Fixture: SPSC ring whose atomics all name their memory_order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace disco::pipeline {
+
+class MiniRing {
+ public:
+  [[nodiscard]] bool try_push(std::uint64_t v) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= kCapacity) return false;
+    slot_[head % kCapacity] = v;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  void count() noexcept { ops_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::uint64_t kCapacity = 64;
+  std::uint64_t slot_[kCapacity] = {};
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> ops_{0};
+};
+
+}  // namespace disco::pipeline

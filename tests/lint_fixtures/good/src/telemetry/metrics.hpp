@@ -1,0 +1,20 @@
+// Fixture: header that directly includes what it uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace disco::telemetry {
+
+class MiniCounter {
+ public:
+  void inc() noexcept { value_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace disco::telemetry

@@ -74,7 +74,8 @@ TEST(AnlsICounter, UnbiasedButNoisy) {
     for (auto l : lens) c.add(l, rng);
     sum += c.estimate();
   }
-  EXPECT_NEAR(sum / runs, static_cast<double>(truth), truth * 0.05);
+  EXPECT_NEAR(sum / runs, static_cast<double>(truth),
+              static_cast<double>(truth) * 0.05);
 }
 
 TEST(AnlsICounter, PaperE1Example) {

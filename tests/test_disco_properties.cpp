@@ -79,7 +79,8 @@ TEST_P(UnbiasednessGrid, MixedWorkloadMeanConvergesToTruth) {
   // Tolerance: 5 sigma with sigma <= bound * truth / sqrt(runs).
   const double sigma =
       theory::cv_bound(b) * static_cast<double>(truth) / std::sqrt(runs);
-  EXPECT_NEAR(mean, static_cast<double>(truth), 5.0 * sigma + 1e-6 * truth)
+  EXPECT_NEAR(mean, static_cast<double>(truth),
+              5.0 * sigma + 1e-6 * static_cast<double>(truth))
       << "b=" << b;
 }
 

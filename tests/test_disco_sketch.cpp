@@ -46,7 +46,8 @@ TEST(DiscoSketch, SingleFlowTracksTraffic) {
     sketch.add(7, 500);
     truth += 500;
   }
-  EXPECT_NEAR(sketch.estimate(7), static_cast<double>(truth), truth * 0.2);
+  EXPECT_NEAR(sketch.estimate(7), static_cast<double>(truth),
+              static_cast<double>(truth) * 0.2);
 }
 
 TEST(DiscoSketch, StorageIsGeometryTimesBits) {

@@ -77,9 +77,10 @@ TEST(FlowMonitor, TotalsApproximateTruth) {
   }
   const auto totals = monitor.totals();
   EXPECT_EQ(totals.flows, 100u);
-  EXPECT_NEAR(totals.bytes, static_cast<double>(truth_bytes), truth_bytes * 0.1);
+  EXPECT_NEAR(totals.bytes, static_cast<double>(truth_bytes),
+              static_cast<double>(truth_bytes) * 0.1);
   EXPECT_NEAR(totals.packets, static_cast<double>(truth_packets),
-              truth_packets * 0.1);
+              static_cast<double>(truth_packets) * 0.1);
 }
 
 TEST(FlowMonitor, MemoryReportScalesWithBudget) {

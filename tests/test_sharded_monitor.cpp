@@ -46,7 +46,8 @@ TEST(ShardedMonitor, SingleThreadBehavesLikeMonitor) {
   EXPECT_EQ(sharded.packets_seen(), 5000u);
   const auto totals = sharded.totals();
   EXPECT_EQ(totals.flows, 50u);
-  EXPECT_NEAR(totals.bytes, static_cast<double>(truth), truth * 0.1);
+  EXPECT_NEAR(totals.bytes, static_cast<double>(truth),
+              static_cast<double>(truth) * 0.1);
 }
 
 TEST(ShardedMonitor, QueriesRouteToOwningShard) {
