@@ -112,6 +112,78 @@ std::uint64_t DiscoParams::merge(std::uint64_t c1, std::uint64_t c2,
   return c1 + d.delta + (rng.bernoulli(d.p_d) ? 1 : 0);
 }
 
+void DiscoArray::saturate_or_rescale(std::size_t i, std::uint64_t next,
+                                     util::Rng& rng) noexcept {
+  // The f-value the realised (oversized) counter stands for in the scale
+  // that decided it.  Held fixed across rescale rounds: the decision is
+  // final, only its representation changes, so E[f_new(mapped)] = f_old(next)
+  // and no overflow-conditioned re-draw can skew the estimator (see the
+  // declaration comment in disco.hpp).
+  const double x = params_.scale().f(static_cast<double>(next));
+  while (rescale_enabled_ && rescales_ < max_rescales_) {
+    if (!rescale_once(rng)) break;
+    const util::GeometricScale& ns = params_.scale();
+    double lo = std::floor(ns.f_inv(x));
+    if (lo < 0.0) lo = 0.0;
+    const double f_lo = ns.f(lo);
+    const double width = ns.step(lo);  // f(lo+1) - f(lo)
+    const double frac = std::clamp((x - f_lo) / width, 0.0, 1.0);
+    const std::uint64_t mapped = static_cast<std::uint64_t>(lo) +
+                                 (rng.bernoulli(frac) ? 1 : 0);
+    if (mapped <= store_.max_value()) {
+      store_.set(i, mapped);
+      return;
+    }
+  }
+  store_.set(i, store_.max_value());
+  ++overflows_;
+}
+
+bool DiscoArray::rescale_once(util::Rng& rng) noexcept {
+  // Target budget: growth x what the full-width counter represents today.
+  const double old_budget = params_.estimate(store_.max_value());
+  const double target = old_budget * rescale_growth_;
+  if (!std::isfinite(target) || target <= old_budget || target >= 9.2e18) {
+    rescale_enabled_ = false;
+    return false;
+  }
+  double new_b = 0.0;
+  try {
+    new_b = util::choose_b(static_cast<std::uint64_t>(target), store_.width());
+  } catch (const std::exception&) {
+    // Even b = 4 cannot reach the grown budget at this width; from here on
+    // the array saturates (and counts) like the default policy.
+    rescale_enabled_ = false;
+    return false;
+  }
+  const util::GeometricScale old_scale = params_.scale();
+  DiscoParams new_params(new_b);
+  const util::GeometricScale& ns = new_params.scale();
+  // Remap every live counter into the new scale with randomized rounding:
+  // c' = floor(f_new^-1(f_old(c))) + Bernoulli(frac), so conditional on the
+  // old value E[f_new(c')] = f_old(c) and the estimator stays unbiased
+  // through any number of rescales (tower property).
+  for (std::size_t j = 0; j < store_.size(); ++j) {
+    const std::uint64_t c = store_.get(j);
+    if (c == 0) continue;
+    const double x = old_scale.f(static_cast<double>(c));
+    double lo = std::floor(ns.f_inv(x));
+    if (lo < 0.0) lo = 0.0;
+    const double f_lo = ns.f(lo);
+    const double width = ns.step(lo);  // f(lo+1) - f(lo)
+    const double frac = std::clamp((x - f_lo) / width, 0.0, 1.0);
+    std::uint64_t mapped = static_cast<std::uint64_t>(lo) +
+                           (rng.bernoulli(frac) ? 1 : 0);
+    if (mapped > store_.max_value()) mapped = store_.max_value();
+    store_.set(j, mapped);
+  }
+  const bool had_table = params_.decision_table() != nullptr;
+  params_ = new_params;
+  if (had_table) params_.attach_table(store_.max_value());
+  ++rescales_;
+  return true;
+}
+
 DiscoParams::ConfidenceInterval DiscoParams::confidence_interval(
     std::uint64_t c, double confidence) const {
   if (!(confidence > 0.0) || !(confidence < 1.0)) {

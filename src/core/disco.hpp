@@ -186,7 +186,10 @@ class DiscoCounter {
 
 /// Fixed-width array of DISCO counters, bit-packed at exactly `bits` bits per
 /// counter so SRAM accounting matches the paper's "largest counter bits"
-/// methodology.  Overflowing updates saturate the counter and are counted.
+/// methodology.  An update that would exceed the width follows the array's
+/// saturation policy: by default it saturates the counter and is counted;
+/// with enable_rescale() the whole array is re-derived under a larger base b
+/// first (ICE-Buckets-style scale management -- see docs/robustness.md).
 class DiscoArray {
  public:
   DiscoArray(std::size_t size, int bits, DiscoParams params)
@@ -207,10 +210,44 @@ class DiscoArray {
   /// core/decision_table.hpp; decisions stay bit-identical).
   void attach_decision_table() { params_.attach_table(store_.max_value()); }
 
+  // --- saturation policy ------------------------------------------------------
+  /// Switches the array from saturate-and-count to RescaleB: when an update
+  /// would exceed the counter width, the array is re-provisioned for
+  /// `growth` x its current representable maximum (a larger b, same bits)
+  /// and every counter is remapped with randomized rounding, keeping
+  /// estimates unbiased.  At most `max_rescales` re-derivations happen; past
+  /// the cap -- or if provisioning fails (b would exceed choose_b's range)
+  /// -- the array falls back to saturating.  Each rescale raises the
+  /// Theorem 2 CV bound, which is exactly the graceful accuracy-for-range
+  /// trade the robustness layer documents.
+  void enable_rescale(double growth, unsigned max_rescales) noexcept {
+    rescale_enabled_ = growth > 1.0 && max_rescales > 0;
+    rescale_growth_ = growth;
+    max_rescales_ = max_rescales;
+  }
+  [[nodiscard]] std::uint64_t rescale_count() const noexcept { return rescales_; }
+
+  /// Restores a rescaled deployment's effective base (checkpoint/restore
+  /// path): rebuilds params for `b` (re-deriving the attached decision
+  /// table, if any) and resets the rescale-event count.  The raw counter
+  /// values restored afterwards are interpreted under this b.
+  void restore_scale(double b, std::uint64_t rescales) {
+    if (b != params_.b()) {
+      const bool had_table = params_.decision_table() != nullptr;
+      params_ = DiscoParams(b);
+      if (had_table) params_.attach_table(store_.max_value());
+    }
+    rescales_ = rescales;
+  }
+
   void add(std::size_t i, std::uint64_t l, util::Rng& rng) noexcept {
     const std::uint64_t c = store_.get(i);
     const std::uint64_t next = params_.update(c, l, rng);
-    if (!store_.try_add(i, next - c)) ++overflows_;
+    if (next <= store_.max_value()) [[likely]] {
+      store_.set(i, next);
+      return;
+    }
+    saturate_or_rescale(i, next, rng);
   }
 
   /// Applies add(slots[i], lengths[i]) for each i in order; RNG consumption
@@ -247,15 +284,42 @@ class DiscoArray {
     return m;
   }
 
+  /// Clears counter values and the overflow count for a new epoch.  A
+  /// rescaled b is a deployment property, not epoch state: it persists (as
+  /// does rescale_count()), exactly as reprovisioned hardware would.
   void reset() noexcept {
     store_.fill_zero();
     overflows_ = 0;
   }
 
  private:
+  /// Cold overflow path (disco.cpp): applies the saturation policy when the
+  /// update at slot `i` realised a counter `next` that exceeds the width.
+  /// Under RescaleB this re-derives the array and remaps the ALREADY-DECIDED
+  /// `next` into the new scale with randomized rounding.  Remapping (rather
+  /// than re-drawing the update) matters for unbiasedness: this path only
+  /// runs on the conditional branch where the first draw came out high, so a
+  /// re-draw would keep low outcomes and re-randomize high ones -- a
+  /// systematic negative bias.  When rescaling is exhausted or impossible it
+  /// clamps to the top value and counts the overflow, consuming no
+  /// randomness beyond the original decision.
+  void saturate_or_rescale(std::size_t i, std::uint64_t next,
+                           util::Rng& rng) noexcept;
+
+  /// One RescaleB event: re-provisions for rescale_growth_ x the current
+  /// representable maximum and remaps every counter with randomized
+  /// rounding (E[f_new(c')] = f_old(c), so estimates stay unbiased).
+  /// Returns false -- permanently disabling rescale -- when choose_b cannot
+  /// provision the grown budget at this width.
+  bool rescale_once(util::Rng& rng) noexcept;
+
   DiscoParams params_;
   util::BitPackedArray store_;
   std::uint64_t overflows_ = 0;
+  bool rescale_enabled_ = false;
+  double rescale_growth_ = 2.0;
+  unsigned max_rescales_ = 16;
+  std::uint64_t rescales_ = 0;
 };
 
 /// Section VI burst optimisation: back-to-back packets of one flow are first

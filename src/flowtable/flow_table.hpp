@@ -20,6 +20,7 @@
 #include "flowtable/flow_key.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/registry.hpp"
+#include "util/fault.hpp"
 
 namespace disco::flowtable {
 
@@ -62,7 +63,13 @@ class BasicFlowTable {
       Bucket& b = buckets_[i];
       if (b.slot == kEmpty) {
         probe_hist_->record(len);
-        if (size_ >= capacity_) {
+        // kAllocFailure models the slot allocator running dry early (e.g. a
+        // smaller SRAM part): each new-flow allocation attempt consults the
+        // armed plan, and an injected failure takes the exact code path a
+        // genuinely full table does.  Compiles to the plain capacity check
+        // when DISCO_FAULTS is off.
+        if (util::fault::fires(util::fault::Point::kAllocFailure) ||
+            size_ >= capacity_) {
           ++rejected_;
           return std::nullopt;
         }

@@ -11,7 +11,17 @@ namespace disco::flowtable {
 namespace {
 
 constexpr std::uint32_t kSnapshotMagic = 0x4e4f4d44;  // "DMON" LE
-constexpr std::uint32_t kSnapshotVersion = 2;
+// v3 adds the pressure block after the RNG state: pressure-stream RNG state,
+// cumulative PressureStats, and each counter array's effective base b with
+// its rescale count (so a RescaleB deployment restores to the scale its raw
+// counters are actually expressed in).  v2 snapshots (no pressure block) are
+// still readable.
+constexpr std::uint32_t kSnapshotVersion = 3;
+constexpr std::uint32_t kSnapshotVersionV2 = 2;
+
+// Stream-splitting constant for the pressure RNG (same golden-ratio constant
+// SplitMix64 uses): one user seed yields two decorrelated streams.
+constexpr std::uint64_t kPressureSeedSalt = 0x9e3779b97f4a7c15ULL;
 
 template <typename T>
 void put(std::ostream& out, const T& value) {
@@ -56,12 +66,19 @@ FlowMonitor::FlowMonitor(const Config& config)
       size_(config.max_flows, config.counter_bits,
             core::DiscoParams::for_budget(config.max_flow_packets, config.counter_bits)),
       last_seen_ns_(config.max_flows, 0),
-      rng_(config.seed) {
+      rng_(config.seed),
+      pressure_rng_(config.seed ^ kPressureSeedSalt) {
   if (config.decision_table) {
     // Transcendental-free update fast path; decisions stay bit-identical,
     // and the process-wide table cache de-duplicates across shards.
     volume_.attach_decision_table();
     size_.attach_decision_table();
+  }
+  if (config_.pressure.saturation == SaturationPolicy::RescaleB) {
+    volume_.enable_rescale(config_.pressure.rescale_growth,
+                           config_.pressure.max_rescales);
+    size_.enable_rescale(config_.pressure.rescale_growth,
+                         config_.pressure.max_rescales);
   }
   auto& registry = telemetry::Registry::global();
   const std::string& prefix = config_.telemetry_prefix;
@@ -70,6 +87,10 @@ FlowMonitor::FlowMonitor(const Config& config)
   metrics_.evictions = &registry.counter(prefix + ".evictions_total");
   metrics_.queries = &registry.counter(prefix + ".queries_total");
   metrics_.occupancy = &registry.gauge(prefix + ".table_occupancy");
+  metrics_.flows_rejected = &registry.counter(prefix + ".flows_rejected_total");
+  metrics_.flows_evicted = &registry.counter(prefix + ".flows_evicted_total");
+  metrics_.saturations = &registry.counter(prefix + ".counters_saturated_total");
+  metrics_.rescales = &registry.counter(prefix + ".rescale_events_total");
 }
 
 bool FlowMonitor::ingest(const FiveTuple& flow, std::uint32_t length,
@@ -87,10 +108,18 @@ std::size_t FlowMonitor::ingest_batch(std::span<const FlowBurst> bursts) {
   std::size_t accepted = 0;
   std::uint64_t accepted_packets = 0;
   std::uint64_t rejected_packets = 0;
+  std::uint64_t rejected_bursts = 0;
   for (const FlowBurst& burst : bursts) {
-    const auto slot = table_.insert_or_get(burst.flow);
+    auto slot = table_.insert_or_get(burst.flow);
+    if (!slot && config_.pressure.admission != AdmissionPolicy::Drop) {
+      // Policy decisions run entirely off the counter-update path: the
+      // transcendental-free hot loop below is untouched, and only the
+      // dedicated pressure RNG is consumed.
+      slot = admit_under_pressure(burst);
+    }
     if (!slot) {
       rejected_packets += burst.packets;
+      ++rejected_bursts;
       continue;
     }
     // Volume before size, always: a burst of one packet consumes the RNG
@@ -104,10 +133,91 @@ std::size_t FlowMonitor::ingest_batch(std::span<const FlowBurst> bursts) {
     ++accepted;
   }
   packets_seen_ += accepted_packets;
+  pressure_.flows_rejected += rejected_bursts;
   metrics_.rejects->inc(rejected_packets);
+  metrics_.flows_rejected->inc(rejected_bursts);
   metrics_.ingests->inc(accepted_packets);
   metrics_.occupancy->set(static_cast<std::int64_t>(table_.size()));
+  sync_pressure_counters();
   return accepted;
+}
+
+std::optional<std::uint32_t> FlowMonitor::admit_under_pressure(
+    const FlowBurst& burst) {
+  const auto victim = select_victim();
+  if (!victim) return std::nullopt;
+
+  if (config_.pressure.admission == AdmissionPolicy::RandomizedAdmission) {
+    // RAP: admit with probability proportional to the newcomer's increment
+    // relative to the victim's standing -- p = l / (l + f(c_victim)).  A
+    // mouse burst displacing an elephant is vanishingly unlikely; a heavy
+    // flow wins a slot within O(1/its traffic share) bursts.
+    const double l = static_cast<double>(burst.bytes);
+    const double standing = volume_.estimate(*victim);
+    const double p = (l + standing) > 0.0 ? l / (l + standing) : 1.0;
+    if (!pressure_rng_.bernoulli(p)) return std::nullopt;
+  }
+
+  const FiveTuple victim_key = table_.keys()[*victim];
+  table_.erase(victim_key);
+  // The freed slot is the next one insert_or_get hands out (LIFO free list),
+  // so the newcomer lands exactly where the victim's counters live.
+  const auto slot = table_.insert_or_get(burst.flow);
+  if (slot && config_.pressure.admission == AdmissionPolicy::EvictSmallest) {
+    // EvictSmallest discards the victim's estimate; the newcomer starts
+    // cold.  RAP skips this -- the newcomer INHERITS the victim's counters,
+    // so no admitted traffic is ever under-counted (the RAP invariant).
+    volume_.set_value(*slot, 0);
+    size_.set_value(*slot, 0);
+    last_seen_ns_[*slot] = 0;
+  }
+  ++pressure_.flows_evicted;
+  metrics_.flows_evicted->inc();
+  return slot;
+}
+
+std::optional<std::uint32_t> FlowMonitor::select_victim() {
+  const std::size_t slots = table_.keys().size();
+  if (slots == 0 || table_.size() == 0) return std::nullopt;
+  const unsigned samples = std::max(1u, config_.pressure.victim_samples);
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_counter = ~std::uint64_t{0};
+  for (unsigned s = 0; s < samples; ++s) {
+    const auto idx = static_cast<std::uint32_t>(
+        pressure_rng_.uniform_u64(0, slots - 1));
+    if (!table_.slot_used(idx)) continue;  // freed slot awaiting reuse
+    const std::uint64_t c = volume_.value(idx);
+    if (!best || c < best_counter) {
+      best = idx;
+      best_counter = c;
+    }
+  }
+  if (best) return best;
+  // Every sample hit a freed slot (only possible right after heavy idle
+  // eviction); fall back to the first occupied one.
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    if (table_.slot_used(i)) return i;
+  }
+  return std::nullopt;
+}
+
+void FlowMonitor::sync_pressure_counters() {
+  const std::uint64_t saturations =
+      volume_.overflow_count() + size_.overflow_count();
+  const std::uint64_t rescales =
+      volume_.rescale_count() + size_.rescale_count();
+  if (saturations > saturations_seen_) {
+    const std::uint64_t d = saturations - saturations_seen_;
+    pressure_.counters_saturated += d;
+    metrics_.saturations->inc(d);
+    saturations_seen_ = saturations;
+  }
+  if (rescales > rescales_seen_) {
+    const std::uint64_t d = rescales - rescales_seen_;
+    pressure_.rescale_events += d;
+    metrics_.rescales->inc(d);
+    rescales_seen_ = rescales;
+  }
 }
 
 std::vector<FlowMonitor::FlowEstimate> FlowMonitor::evict_idle(
@@ -173,9 +283,11 @@ FlowMonitor::MemoryReport FlowMonitor::memory() const {
 }
 
 FlowMonitor::EpochReport FlowMonitor::rotate() {
+  sync_pressure_counters();
   EpochReport report;
   report.epoch = epoch_;
   report.totals = totals();
+  report.pressure = pressure_;
   report.flows.reserve(table_.size());
   table_.for_each([&](std::uint32_t slot, const FiveTuple& key) {
     report.flows.push_back(
@@ -184,6 +296,10 @@ FlowMonitor::EpochReport FlowMonitor::rotate() {
   table_.clear();
   volume_.reset();
   size_.reset();
+  // DiscoArray::reset() zeroes per-epoch overflow tallies but keeps the
+  // rescaled scale (a deployment property); realign the sync watermarks.
+  saturations_seen_ = 0;
+  rescales_seen_ = volume_.rescale_count() + size_.rescale_count();
   std::fill(last_seen_ns_.begin(), last_seen_ns_.end(), 0);
   ++epoch_;
   metrics_.occupancy->set(0);
@@ -201,6 +317,19 @@ void FlowMonitor::snapshot(std::ostream& out) const {
   put(out, epoch_);
   put(out, packets_seen_);
   put(out, rng_.state());
+  // v3 pressure block: stream state, cumulative stats, and the effective
+  // scale of each counter array (b drifts upward under RescaleB; the raw
+  // counter values below are only meaningful under the b they were written
+  // with).
+  put(out, pressure_rng_.state());
+  put(out, pressure_.flows_rejected);
+  put(out, pressure_.flows_evicted);
+  put(out, pressure_.counters_saturated);
+  put(out, pressure_.rescale_events);
+  put(out, volume_.params().b());
+  put(out, volume_.rescale_count());
+  put(out, size_.params().b());
+  put(out, size_.rescale_count());
   put(out, static_cast<std::uint64_t>(table_.size()));
   // Entries are keyed by flow, not slot: restore re-derives slot numbers, so
   // snapshots are insensitive to the eviction history's slot fragmentation.
@@ -217,7 +346,8 @@ FlowMonitor FlowMonitor::restore(std::istream& in) {
   if (get<std::uint32_t>(in) != kSnapshotMagic) {
     throw std::runtime_error("FlowMonitor::restore: bad magic");
   }
-  if (get<std::uint32_t>(in) != kSnapshotVersion) {
+  const auto version = get<std::uint32_t>(in);
+  if (version != kSnapshotVersion && version != kSnapshotVersionV2) {
     throw std::runtime_error("FlowMonitor::restore: unsupported version");
   }
   Config config;
@@ -236,6 +366,27 @@ FlowMonitor FlowMonitor::restore(std::istream& in) {
   monitor.epoch_ = get<std::uint64_t>(in);
   monitor.packets_seen_ = get<std::uint64_t>(in);
   monitor.rng_.set_state(get<util::Rng::State>(in));
+
+  if (version >= 3) {
+    monitor.pressure_rng_.set_state(get<util::Rng::State>(in));
+    monitor.pressure_.flows_rejected = get<std::uint64_t>(in);
+    monitor.pressure_.flows_evicted = get<std::uint64_t>(in);
+    monitor.pressure_.counters_saturated = get<std::uint64_t>(in);
+    monitor.pressure_.rescale_events = get<std::uint64_t>(in);
+    const auto volume_b = get<double>(in);
+    const auto volume_rescales = get<std::uint64_t>(in);
+    const auto size_b = get<double>(in);
+    const auto size_rescales = get<std::uint64_t>(in);
+    if (!(volume_b > 1.0) || !(size_b > 1.0)) {
+      throw std::runtime_error("FlowMonitor::restore: implausible base b");
+    }
+    monitor.volume_.restore_scale(volume_b, volume_rescales);
+    monitor.size_.restore_scale(size_b, size_rescales);
+    // Freshly constructed arrays have zero overflow tallies; rescale counts
+    // were just restored, so the sync watermarks start exactly there.
+    monitor.saturations_seen_ = 0;
+    monitor.rescales_seen_ = volume_rescales + size_rescales;
+  }
 
   const auto flow_count = get<std::uint64_t>(in);
   if (flow_count > config.max_flows) {

@@ -24,6 +24,7 @@
 #include "core/disco.hpp"
 #include "flowtable/burst.hpp"
 #include "flowtable/flow_table.hpp"
+#include "flowtable/pressure.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/packet.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,16 @@ class FlowMonitor {
     /// Instances sharing a prefix share counters; ShardedFlowMonitor gives
     /// each shard its own.  Not persisted by snapshot()/restore().
     std::string telemetry_prefix = "flow_monitor";
+    /// What to do when the flow table fills or a counter would overflow
+    /// (flowtable/pressure.hpp, docs/robustness.md).  The default -- reject
+    /// new flows, clamp saturating counters -- is the seed behaviour and
+    /// consumes no randomness, so it is bit-identical to builds that predate
+    /// the policy layer.  Like telemetry_prefix this is runtime deployment
+    /// config, not measurement state: snapshot()/restore() does not persist
+    /// it (restore() preserves the *effects* -- the effective base b after
+    /// RescaleB events and the cumulative PressureStats -- but the restoring
+    /// process chooses its own policies).
+    PressureConfig pressure{};
   };
 
   explicit FlowMonitor(const Config& config);
@@ -131,8 +142,18 @@ class FlowMonitor {
     std::uint64_t epoch = 0;
     std::vector<FlowEstimate> flows;
     Totals totals;
+    /// Cumulative degradation counters as of rotation, so a collector can
+    /// tell a clean report from one produced under table pressure.
+    PressureStats pressure{};
   };
   EpochReport rotate();
+
+  /// Cumulative degradation counters since construction (docs/robustness.md).
+  /// Always current at API boundaries: saturation/rescale events are synced
+  /// from the counter arrays at the end of every ingest call.
+  [[nodiscard]] const PressureStats& pressure() const noexcept {
+    return pressure_;
+  }
 
   // --- checkpoint / restore ----------------------------------------------------
   /// Serialises the complete monitor state (config, flow table, counters,
@@ -153,7 +174,28 @@ class FlowMonitor {
     telemetry::Counter* evictions = nullptr;
     telemetry::Counter* queries = nullptr;
     telemetry::Gauge* occupancy = nullptr;
+    telemetry::Counter* flows_rejected = nullptr;
+    telemetry::Counter* flows_evicted = nullptr;
+    telemetry::Counter* saturations = nullptr;
+    telemetry::Counter* rescales = nullptr;
   };
+
+  /// Admission policy fallback when insert_or_get rejects a new flow: picks a
+  /// victim and applies config_.pressure.admission (RAP coin flip with
+  /// counter inheritance, or deterministic evict-smallest).  Returns the slot
+  /// the burst may use, or nullopt when the burst stays rejected.  Draws only
+  /// from pressure_rng_, leaving the measurement stream rng_ untouched.
+  [[nodiscard]] std::optional<std::uint32_t> admit_under_pressure(
+      const FlowBurst& burst);
+
+  /// Samples config_.pressure.victim_samples occupied slots uniformly and
+  /// returns the one with the smallest volume counter (sampled-min victim
+  /// selection -- see flowtable/pressure.hpp for the quantile argument).
+  [[nodiscard]] std::optional<std::uint32_t> select_victim();
+
+  /// Folds the counter arrays' overflow/rescale tallies into pressure_ and
+  /// the telemetry registry (delta since the last sync).
+  void sync_pressure_counters();
 
   Config config_;
   FlowTable table_;
@@ -161,6 +203,14 @@ class FlowMonitor {
   core::DiscoArray size_;
   std::vector<std::uint64_t> last_seen_ns_;
   util::Rng rng_;
+  /// Dedicated stream for pressure decisions (victim sampling, RAP coins):
+  /// keeping it apart from rng_ means enabling a pressure policy never
+  /// perturbs the measurement stream, so estimates under Drop stay
+  /// bit-identical to a build without the policy layer.
+  util::Rng pressure_rng_;
+  PressureStats pressure_;
+  std::uint64_t saturations_seen_ = 0;  ///< array overflows already synced
+  std::uint64_t rescales_seen_ = 0;     ///< array rescales already synced
   std::uint64_t packets_seen_ = 0;
   std::uint64_t epoch_ = 0;
   Metrics metrics_;

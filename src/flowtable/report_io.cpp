@@ -4,11 +4,20 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace disco::flowtable {
 namespace {
 
 template <typename T>
 void put(std::ostream& out, const T& value) {
+  // kShortWrite models the collector socket / spool disk failing mid-report:
+  // the sink stops taking bytes, which on a std::ostream manifests as badbit.
+  // Compiles to the bare write() when DISCO_FAULTS is off.
+  if (util::fault::fires(util::fault::Point::kShortWrite)) {
+    out.setstate(std::ios::badbit);
+    return;
+  }
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
@@ -29,6 +38,10 @@ void write_report(std::ostream& out, const FlowMonitor::EpochReport& report) {
   put(out, report.totals.bytes);
   put(out, report.totals.packets);
   put(out, static_cast<std::uint64_t>(report.totals.flows));
+  put(out, report.pressure.flows_rejected);
+  put(out, report.pressure.flows_evicted);
+  put(out, report.pressure.counters_saturated);
+  put(out, report.pressure.rescale_events);
   put(out, static_cast<std::uint64_t>(report.flows.size()));
   for (const auto& flow : report.flows) {
     put(out, flow.flow.src_ip);
@@ -39,6 +52,11 @@ void write_report(std::ostream& out, const FlowMonitor::EpochReport& report) {
     put(out, flow.bytes);
     put(out, flow.packets);
   }
+  // A buffered sink can swallow every write() above and only hit the device
+  // at flush time; flushing here makes short/failed writes THIS call's
+  // exception instead of a silently truncated report discovered by the
+  // collector.
+  out.flush();
   if (!out) throw std::runtime_error("report_io: write failed");
 }
 
@@ -46,7 +64,8 @@ FlowMonitor::EpochReport read_report(std::istream& in) {
   if (get<std::uint32_t>(in) != kReportMagic) {
     throw std::runtime_error("report_io: bad magic (not a DRPT report)");
   }
-  if (get<std::uint32_t>(in) != kReportVersion) {
+  const auto version = get<std::uint32_t>(in);
+  if (version != kReportVersion && version != 1) {
     throw std::runtime_error("report_io: unsupported version");
   }
   FlowMonitor::EpochReport report;
@@ -54,6 +73,12 @@ FlowMonitor::EpochReport read_report(std::istream& in) {
   report.totals.bytes = get<double>(in);
   report.totals.packets = get<double>(in);
   report.totals.flows = static_cast<std::size_t>(get<std::uint64_t>(in));
+  if (version >= 2) {
+    report.pressure.flows_rejected = get<std::uint64_t>(in);
+    report.pressure.flows_evicted = get<std::uint64_t>(in);
+    report.pressure.counters_saturated = get<std::uint64_t>(in);
+    report.pressure.rescale_events = get<std::uint64_t>(in);
+  }
   const auto count = get<std::uint64_t>(in);
   report.flows.reserve(static_cast<std::size_t>(
       std::min<std::uint64_t>(count, std::uint64_t{1} << 20)));
@@ -79,6 +104,7 @@ void write_report_csv(std::ostream& out, const FlowMonitor::EpochReport& report)
         << static_cast<int>(flow.flow.protocol) << ',' << flow.bytes << ','
         << flow.packets << '\n';
   }
+  out.flush();  // same short-write rationale as write_report
   if (!out) throw std::runtime_error("report_io: CSV write failed");
 }
 
@@ -91,6 +117,8 @@ FlowMonitor::EpochReport combine_reports(const FlowMonitor::EpochReport& a,
   merged.totals.bytes = a.totals.bytes + b.totals.bytes;
   merged.totals.packets = a.totals.packets + b.totals.packets;
   merged.totals.flows = a.totals.flows + b.totals.flows;
+  merged.pressure = a.pressure;
+  merged.pressure += b.pressure;
   return merged;
 }
 

@@ -18,9 +18,16 @@
 namespace disco::flowtable {
 
 inline constexpr std::uint32_t kReportMagic = 0x54505244;  // "DRPT" LE
-inline constexpr std::uint32_t kReportVersion = 1;
+/// v2 inserts the report's PressureStats (flowtable/pressure.hpp) between
+/// the totals and the flow records, so a collector can tell a clean report
+/// from one produced under table pressure.  v1 reports remain readable
+/// (their pressure fields read as zero).
+inline constexpr std::uint32_t kReportVersion = 2;
 
-/// Writes one epoch report.  Throws std::runtime_error on I/O failure.
+/// Writes one epoch report.  Throws std::runtime_error on I/O failure --
+/// including short writes a buffered sink only surfaces at flush time: the
+/// stream is flushed before this returns, so a report that came back without
+/// an exception is fully on the wire.
 void write_report(std::ostream& out, const FlowMonitor::EpochReport& report);
 
 /// Reads a report written by write_report.  Throws std::runtime_error on

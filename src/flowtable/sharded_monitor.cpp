@@ -118,8 +118,18 @@ FlowMonitor::EpochReport ShardedFlowMonitor::rotate() {
     merged.totals.bytes += report.totals.bytes;
     merged.totals.packets += report.totals.packets;
     merged.totals.flows += report.totals.flows;
+    merged.pressure += report.pressure;
   }
   return merged;
+}
+
+PressureStats ShardedFlowMonitor::pressure() const {
+  PressureStats aggregate;
+  for (const auto& shard : shards_) {
+    const util::MutexLock lock(shard->mutex);
+    aggregate += shard->monitor.pressure();
+  }
+  return aggregate;
 }
 
 std::vector<FlowMonitor::FlowEstimate> ShardedFlowMonitor::evict_idle(

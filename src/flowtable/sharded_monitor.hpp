@@ -67,6 +67,11 @@ class ShardedFlowMonitor {
   std::vector<FlowMonitor::FlowEstimate> evict_idle(std::uint64_t now_ns,
                                                     std::uint64_t idle_timeout_ns);
 
+  /// Degradation counters summed across shards (docs/robustness.md).  Each
+  /// shard applies config.base.pressure independently on its own slice of
+  /// the capacity budget.
+  [[nodiscard]] PressureStats pressure() const;
+
   [[nodiscard]] unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "telemetry/registry.hpp"
+#include "util/fault.hpp"
 
 namespace disco::pipeline {
 
@@ -19,6 +20,7 @@ struct PipelineMonitor::Command {
     TopK,
     Memory,
     PacketsSeen,
+    Pressure,
     EvictIdle,
     Drain,
     Stop,
@@ -39,6 +41,7 @@ struct PipelineMonitor::Command {
   std::vector<FlowEstimate> flows;
   MemoryReport memory;
   std::uint64_t count = 0;
+  PressureStats pressure{};
   // Completion handshake.  Deliberately a plain std::mutex, not the
   // annotated util::Mutex: the condition-variable wait needs the std type,
   // and Thread Safety Analysis cannot model a cv handshake anyway.  The pair
@@ -177,8 +180,17 @@ bool PipelineMonitor::ingest(unsigned producer, const FiveTuple& flow,
   Worker& worker =
       *workers_[worker_of(flow, static_cast<unsigned>(workers_.size()))];
   SpscRing<Message>& ring = *worker.rings[producer];
-  const Message msg{flow, length, now_ns, nullptr};
-  if (ring.try_push(msg)) [[likely]] return true;
+  // Fault points (compile to nothing without DISCO_FAULTS): kClockSkew
+  // perturbs the timestamp feeding burst-boundary decisions downstream;
+  // kRingFull fails the FIRST push attempt as if the worker had fallen
+  // behind, exercising the real Drop/Block backpressure paths.  The Block
+  // retry loop is deliberately un-faulted, or an always-firing plan would
+  // spin the producer forever.
+  const Message msg{flow, length, util::fault::skew_clock(now_ns), nullptr};
+  if (!util::fault::fires(util::fault::Point::kRingFull) &&
+      ring.try_push(msg)) [[likely]] {
+    return true;
+  }
 
   if (config_.backpressure == Backpressure::Drop) {
     producer_stats_[producer]->dropped.fetch_add(1, std::memory_order_relaxed);
@@ -261,6 +273,9 @@ void PipelineMonitor::handle_command(Worker& worker, Command& command) {
       break;
     case Command::Op::PacketsSeen:
       command.count = worker.monitor.packets_seen();
+      break;
+    case Command::Op::Pressure:
+      command.pressure = worker.monitor.pressure();
       break;
     case Command::Op::EvictIdle:
       command.flows =
@@ -353,8 +368,20 @@ PipelineMonitor::EpochReport PipelineMonitor::rotate() {
     merged.totals.bytes += command.report.totals.bytes;
     merged.totals.packets += command.report.totals.packets;
     merged.totals.flows += command.report.totals.flows;
+    merged.pressure += command.report.pressure;
   }
   return merged;
+}
+
+PipelineMonitor::PressureStats PipelineMonitor::pressure() {
+  const util::MutexLock lock(control_mutex_);
+  PressureStats aggregate;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    Command command(Command::Op::Pressure);
+    run_on_worker(w, command);
+    aggregate += command.pressure;
+  }
+  return aggregate;
 }
 
 PipelineMonitor::Totals PipelineMonitor::totals() {

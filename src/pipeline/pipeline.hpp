@@ -69,6 +69,7 @@ class PipelineMonitor {
   using Totals = flowtable::FlowMonitor::Totals;
   using EpochReport = flowtable::FlowMonitor::EpochReport;
   using MemoryReport = flowtable::FlowMonitor::MemoryReport;
+  using PressureStats = flowtable::PressureStats;
 
   struct Config {
     flowtable::FlowMonitor::Config base;  ///< deployment totals; capacity is split
@@ -117,6 +118,11 @@ class PipelineMonitor {
       DISCO_EXCLUDES(control_mutex_);
   [[nodiscard]] MemoryReport memory() DISCO_EXCLUDES(control_mutex_);
   [[nodiscard]] std::uint64_t packets_seen() DISCO_EXCLUDES(control_mutex_);
+  /// Degradation counters summed over the worker shards (in-band command,
+  /// like totals(); see docs/robustness.md).  Ring-full drops are a separate
+  /// signal -- dropped() -- because they happen before any shard sees the
+  /// packet.
+  [[nodiscard]] PressureStats pressure() DISCO_EXCLUDES(control_mutex_);
   std::vector<FlowEstimate> evict_idle(std::uint64_t now_ns,
                                        std::uint64_t idle_timeout_ns)
       DISCO_EXCLUDES(control_mutex_);

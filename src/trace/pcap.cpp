@@ -136,6 +136,13 @@ std::vector<PacketRecord> read_pcap(std::istream& in) {
     if (incl_len != kHeaders) {
       throw std::runtime_error("pcap: unexpected capture length");
     }
+    // A record claiming fewer original bytes than the synthetic headers
+    // occupy (zero-length packets included) cannot have come from
+    // write_pcap; without this check the payload-length subtraction below
+    // would wrap to ~4 GB.
+    if (orig_len < kHeaders) {
+      throw std::runtime_error("pcap: original length shorter than headers");
+    }
     in.read(reinterpret_cast<char*>(frame.data()), frame.size());
     if (!in) throw std::runtime_error("pcap: truncated frame");
 

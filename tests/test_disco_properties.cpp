@@ -3,11 +3,14 @@
 // gtest sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "core/disco.hpp"
 #include "core/theory.hpp"
+#include "flowtable/monitor.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 
@@ -196,6 +199,113 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::uint64_t{100000},
                                          std::uint64_t{1} << 22,
                                          std::uint64_t{1} << 25)));
+
+
+// --- Statistical regressions for the pressure layer (pinned seeds) ----------
+//
+// These pin the robustness layer's accuracy claims (docs/robustness.md) as
+// regressions: fixed seeds, fixed workloads, deterministic outcomes.
+
+TEST(PressureRegression, RapZipfHeavyHittersWithinTwiceUnboundedError) {
+  // Zipf(1.0) burst trace: burst f sampled with P(flow i) ~ 1/i over 20k
+  // flows, replayed into an UNBOUNDED monitor (every flow tracked; pure
+  // DISCO estimation error) and into a 4k-budget monitor under RAP.  The
+  // top-100 weighted relative error of the bounded monitor must stay within
+  // 2x the unbounded baseline -- i.e. admission churn may at most double the
+  // paper's native error on the flows that matter.
+  constexpr std::uint32_t kFlows = 20000;
+  constexpr std::uint32_t kBursts = 150000;
+  constexpr std::uint64_t kBurstBytes = 1000;
+
+  std::vector<double> cdf(kFlows);
+  double h = 0.0;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    h += 1.0 / static_cast<double>(i + 1);
+    cdf[i] = h;
+  }
+  for (double& x : cdf) x /= h;
+
+  using flowtable::FlowMonitor;
+  auto make_tuple = [](std::uint32_t i) {
+    return flowtable::FiveTuple{0x0a000000u + i, 0xc0a80001u,
+                                static_cast<std::uint16_t>(1024 + (i & 0x3fff)),
+                                443, 17};
+  };
+  FlowMonitor::Config bounded_config;
+  bounded_config.max_flows = 4096;
+  bounded_config.seed = 0x2a9;
+  bounded_config.pressure.admission = flowtable::AdmissionPolicy::RandomizedAdmission;
+  FlowMonitor bounded(bounded_config);
+  FlowMonitor::Config unbounded_config = bounded_config;
+  unbounded_config.max_flows = kFlows;
+  unbounded_config.pressure.admission = flowtable::AdmissionPolicy::Drop;
+  FlowMonitor unbounded(unbounded_config);
+
+  std::vector<double> truth(kFlows, 0.0);
+  util::Rng trace_rng(0x217f);  // the pinned workload
+  for (std::uint32_t burst = 0; burst < kBursts; ++burst) {
+    const double u = trace_rng.next_double();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto flow = static_cast<std::uint32_t>(it - cdf.begin());
+    truth[flow] += static_cast<double>(kBurstBytes);
+    (void)bounded.ingest_burst(make_tuple(flow), kBurstBytes, 1);
+    (void)unbounded.ingest_burst(make_tuple(flow), kBurstBytes, 1);
+  }
+
+  // Weighted relative error over the top-100 true heavy hitters: absolute
+  // estimate error weighted by (i.e. summed against) true volume.  An
+  // untracked flow contributes its full volume as error.
+  auto weighted_error = [&](FlowMonitor& monitor) {
+    double err = 0.0, mass = 0.0;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      const auto est = monitor.query(make_tuple(i));
+      const double e = est ? est->bytes : 0.0;
+      err += std::abs(e - truth[i]);
+      mass += truth[i];
+    }
+    return err / mass;
+  };
+  const double base = weighted_error(unbounded);
+  const double rap = weighted_error(bounded);
+  EXPECT_LT(base, 0.10);  // sanity: the baseline is the native DISCO error
+  EXPECT_LE(rap, 2.0 * base)
+      << "RAP churn more than doubled the heavy-hitter error (base=" << base
+      << ", rap=" << rap << ")";
+}
+
+TEST(PressureRegression, RescaleBEstimatesUnbiasedWithin3Sigma) {
+  // 400 independent trials of one 8-bit counter provisioned for 64 KiB and
+  // driven to 256 KiB under RescaleB (two growth-2x rescales).  Randomized-
+  // rounding remaps promise E[f_new(c')] = f_old(c), so the mean estimate
+  // must sit within 3 sigma of the true volume -- a rescale that clamped or
+  // floored would bias low and trip this.
+  constexpr int kTrials = 400;
+  constexpr std::uint64_t kBudget = 1 << 16;
+  constexpr std::uint64_t kTrue = 4 * kBudget;
+  constexpr std::uint64_t kBurst = 1024;
+
+  double sum = 0.0;
+  double final_b = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    util::Rng rng(0xbead + static_cast<std::uint64_t>(t));
+    DiscoArray array(1, 8, DiscoParams::for_budget(kBudget, 8));
+    array.enable_rescale(2.0, 16);
+    for (std::uint64_t sent = 0; sent < kTrue; sent += kBurst) {
+      array.add(0, kBurst, rng);
+    }
+    EXPECT_EQ(array.overflow_count(), 0u);
+    EXPECT_GE(array.rescale_count(), 1u);
+    sum += array.estimate(0);
+    final_b = array.params().b();
+  }
+  const double mean = sum / kTrials;
+  // Conservative per-trial sigma: the Theorem 2 CV bound at the FINAL
+  // (largest) base times the true volume.
+  const double sigma =
+      std::sqrt((final_b - 1.0) / 2.0) * static_cast<double>(kTrue);
+  EXPECT_NEAR(mean, static_cast<double>(kTrue),
+              3.0 * sigma / std::sqrt(static_cast<double>(kTrials)));
+}
 
 }  // namespace
 }  // namespace disco::core

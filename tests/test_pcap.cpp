@@ -74,6 +74,60 @@ TEST(Pcap, RejectsTruncatedFrame) {
   EXPECT_THROW((void)read_pcap(cut), std::runtime_error);
 }
 
+// --- malformed-input hardening ----------------------------------------------
+// Offsets within a single-record capture: global header [0,24), record header
+// [24,40) = ts_sec, ts_nsec, incl_len (32), orig_len (36), frame from 40.
+
+std::string one_packet_bytes() {
+  std::vector<PacketRecord> packets = {{7, 400, 1000}};
+  std::stringstream buf;
+  write_pcap(buf, packets);
+  return buf.str();
+}
+
+void patch_u32(std::string& bytes, std::size_t offset, std::uint32_t value) {
+  ASSERT_LE(offset + 4, bytes.size());
+  std::memcpy(bytes.data() + offset, &value, 4);
+}
+
+TEST(Pcap, RejectsTruncatedGlobalHeader) {
+  std::string bytes = one_packet_bytes();
+  bytes.resize(10);  // magic survives, rest of the global header gone
+  std::stringstream cut(bytes);
+  EXPECT_THROW((void)read_pcap(cut), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedRecordHeader) {
+  std::string bytes = one_packet_bytes();
+  bytes.resize(24 + 8);  // timestamps only; incl_len/orig_len missing
+  std::stringstream cut(bytes);
+  EXPECT_THROW((void)read_pcap(cut), std::runtime_error);
+}
+
+TEST(Pcap, RejectsAbsurdCaplen) {
+  // A hostile incl_len must be rejected outright, not used as a read size.
+  std::string bytes = one_packet_bytes();
+  patch_u32(bytes, 32, 0xffffffffu);
+  std::stringstream evil(bytes);
+  EXPECT_THROW((void)read_pcap(evil), std::runtime_error);
+}
+
+TEST(Pcap, RejectsZeroLengthPacket) {
+  // orig_len = 0 with a valid frame: pre-fix this wrapped through
+  // `orig_len - kEthernetHeader` into a ~4 GiB length.
+  std::string bytes = one_packet_bytes();
+  patch_u32(bytes, 36, 0);
+  std::stringstream evil(bytes);
+  EXPECT_THROW((void)read_pcap(evil), std::runtime_error);
+}
+
+TEST(Pcap, RejectsOrigLenBelowHeaders) {
+  std::string bytes = one_packet_bytes();
+  patch_u32(bytes, 36, 20);  // shorter than Ethernet+IP+UDP headers
+  std::stringstream evil(bytes);
+  EXPECT_THROW((void)read_pcap(evil), std::runtime_error);
+}
+
 TEST(Pcap, FileRoundTrip) {
   const auto packets = sample_packets();
   const std::string path = ::testing::TempDir() + "/disco_test.pcap";

@@ -6,6 +6,7 @@
 
 #include "flowtable/report_io.hpp"
 #include "flowtable/sharded_monitor.hpp"
+#include "util/fault.hpp"
 
 namespace disco::flowtable {
 namespace {
@@ -91,6 +92,104 @@ TEST(ReportIo, CombineSumsTotals) {
   EXPECT_DOUBLE_EQ(merged.totals.bytes, a.totals.bytes + b.totals.bytes);
   EXPECT_EQ(merged.totals.flows, a.totals.flows + b.totals.flows);
 }
+
+// --- v2 pressure block -------------------------------------------------------
+
+TEST(ReportIo, PressureStatsRoundTripAndCombine) {
+  auto a = sample_report();
+  a.pressure = PressureStats{11, 7, 3, 2};
+  std::stringstream buf;
+  write_report(buf, a);
+  const auto parsed = read_report(buf);
+  EXPECT_EQ(parsed.pressure.flows_rejected, 11u);
+  EXPECT_EQ(parsed.pressure.flows_evicted, 7u);
+  EXPECT_EQ(parsed.pressure.counters_saturated, 3u);
+  EXPECT_EQ(parsed.pressure.rescale_events, 2u);
+
+  auto b = sample_report();
+  b.pressure = PressureStats{1, 2, 3, 4};
+  const auto merged = combine_reports(a, b);
+  EXPECT_EQ(merged.pressure.flows_rejected, 12u);
+  EXPECT_EQ(merged.pressure.rescale_events, 6u);
+}
+
+TEST(ReportIo, ReadsLegacyV1WithZeroPressure) {
+  // Hand-built v1 stream: magic, version 1, epoch, totals, zero flows --
+  // exactly what a pre-pressure writer emitted.
+  std::stringstream buf;
+  auto put = [&buf](const auto& v) {
+    buf.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(kReportMagic);
+  put(std::uint32_t{1});
+  put(std::uint64_t{5});  // epoch
+  put(double{123.0});     // totals.bytes
+  put(double{4.0});       // totals.packets
+  put(std::uint64_t{2});  // totals.flows
+  put(std::uint64_t{0});  // flow records
+  const auto parsed = read_report(buf);
+  EXPECT_EQ(parsed.epoch, 5u);
+  EXPECT_EQ(parsed.totals.flows, 2u);
+  EXPECT_EQ(parsed.pressure.flows_rejected, 0u);
+  EXPECT_EQ(parsed.pressure.rescale_events, 0u);
+}
+
+// --- short-write detection ---------------------------------------------------
+
+/// A sink that buffers every byte happily and only admits failure at sync
+/// time -- the way an ofstream over a full disk behaves.  Pre-fix,
+/// write_report never flushed, so this failure escaped into a silently
+/// truncated report.
+class FailOnSyncBuf : public std::stringbuf {
+ protected:
+  int sync() override { return -1; }
+};
+
+TEST(ReportIo, DetectsSinkThatFailsAtFlushTime) {
+  FailOnSyncBuf sink;
+  std::ostream out(&sink);
+  EXPECT_THROW(write_report(out, sample_report()), std::runtime_error);
+  EXPECT_THROW(write_report_csv(out, sample_report()), std::runtime_error);
+}
+
+/// A sink that stops accepting bytes after a quota -- a short write.
+class ShortWriteBuf : public std::streambuf {
+ public:
+  explicit ShortWriteBuf(std::size_t quota) : quota_(quota) {}
+
+ protected:
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    if (written_ + static_cast<std::size_t>(n) > quota_) return 0;
+    written_ += static_cast<std::size_t>(n);
+    return n;
+  }
+  int overflow(int) override { return traits_type::eof(); }
+
+ private:
+  std::size_t quota_;
+  std::size_t written_ = 0;
+};
+
+TEST(ReportIo, DetectsShortWriteMidReport) {
+  ShortWriteBuf sink(40);  // dies inside the header
+  std::ostream out(&sink);
+  EXPECT_THROW(write_report(out, sample_report()), std::runtime_error);
+}
+
+#if DISCO_FAULTS
+TEST(ReportIo, InjectedShortWriteThrowsAndRecovers) {
+  util::fault::Plan plan;
+  plan.start_after = 5;  // header goes out, a flow record write fails
+  plan.fail_count = 1;
+  util::fault::arm(util::fault::Point::kShortWrite, plan);
+  std::stringstream buf;
+  EXPECT_THROW(write_report(buf, sample_report()), std::runtime_error);
+  util::fault::disarm_all();
+  std::stringstream clean;
+  write_report(clean, sample_report());
+  EXPECT_EQ(read_report(clean).flows.size(), sample_report().flows.size());
+}
+#endif  // DISCO_FAULTS
 
 // --- sharded monitor lifecycle passthrough ----------------------------------
 

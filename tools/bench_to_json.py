@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Run the performance benches and record a normalized BENCH_<n>.json.
 
-Runs bench_micro_update (google-benchmark JSON mode) and bench_pipeline
-(its own --json mode), normalizes both into one document, and writes it to
+Runs bench_micro_update (google-benchmark JSON mode), bench_pipeline and
+bench_ablation_pressure (their own --json modes), normalizes all into one
+document, and writes it to
 BENCH_<n>.json at the repo root, where <n> auto-increments past existing
 files.  Committing these snapshots gives the repo a benchmark trajectory:
 each PR's perf claims stay reproducible and comparable.
@@ -86,6 +87,23 @@ def run_pipeline(build_dir: str, scale: float) -> dict:
         os.unlink(tmp_path)
 
 
+def run_pressure(build_dir: str, scale: float) -> dict:
+    """bench_ablation_pressure via its --json=<path> reporter."""
+    binary = os.path.join(build_dir, "bench", "bench_ablation_pressure")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        env = dict(os.environ, DISCO_BENCH_SCALE=str(scale))
+        cmd = [binary, f"--json={tmp_path}"]
+        print("+", " ".join(cmd), f"(DISCO_BENCH_SCALE={scale})",
+              file=sys.stderr)
+        subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
 def next_output_path() -> str:
     taken = set()
     for name in os.listdir(REPO_ROOT):
@@ -109,6 +127,8 @@ def main() -> int:
                         help="output path (default: next free BENCH_<n>.json)")
     parser.add_argument("--skip-pipeline", action="store_true",
                         help="only run the micro bench (quick smoke)")
+    parser.add_argument("--skip-pressure", action="store_true",
+                        help="skip the pressure-policy ablation bench")
     args = parser.parse_args()
 
     doc = {
@@ -122,6 +142,8 @@ def main() -> int:
     }
     if not args.skip_pipeline:
         doc["pipeline"] = run_pipeline(args.build_dir, args.scale)
+    if not args.skip_pressure:
+        doc["pressure_ablation"] = run_pressure(args.build_dir, args.scale)
 
     out_path = args.out or next_output_path()
     with open(out_path, "w") as f:

@@ -104,9 +104,17 @@ ATOMIC_DECL_RE = re.compile(
 RNG_DIRS = ("src/core/", "src/flowtable/", "src/pipeline/")
 RNG_ALLOWED: Dict[str, Set[str]] = {
     "src/core/disco.hpp": {"update"},
-    "src/core/disco.cpp": {"merge"},
+    # rescale_once / saturate_or_rescale: the RescaleB remap's randomized
+    # rounding (cold path, docs/robustness.md); draws from the same
+    # measurement stream as the update that triggered it, deliberately.
+    "src/core/disco.cpp": {"merge", "rescale_once", "saturate_or_rescale"},
     "src/core/disco_fixed.hpp": {"update"},
     "src/core/regulation.hpp": {"update"},
+    # Pressure-policy decisions (RAP coin, victim sampling) draw ONLY from
+    # the monitor's dedicated pressure_rng_ stream, never the measurement
+    # stream -- confining the draws to these two cold-path functions is what
+    # keeps the Drop default bit-identical to pre-policy builds.
+    "src/flowtable/monitor.cpp": {"admit_under_pressure", "select_victim"},
 }
 RNG_DRAW_RE = re.compile(
     r"\b(\w*[Rr]ng\w*)\s*(?:\.|->)\s*"
