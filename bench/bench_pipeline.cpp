@@ -29,6 +29,7 @@
 
 #include "bench_common.hpp"
 #include "flowtable/sharded_monitor.hpp"
+#include "modules/host.hpp"
 #include "pipeline/pipeline.hpp"
 #include "util/rng.hpp"
 
@@ -166,6 +167,75 @@ RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer,
   return r;
 }
 
+/// Module-overhead ablation: the same pipeline run, but the main thread
+/// rotates `rotations` times at packet-count thresholds (polled through the
+/// control plane) while producers ingest -- once with no subscribers, once
+/// with the full built-in module set attached.  Both arms pay for the
+/// rotations and the polling; the delta is what the analysis layer costs.
+RunResult run_pipeline_with_modules(unsigned producers,
+                                    std::uint64_t packets_per_producer,
+                                    unsigned rotations, bool with_modules) {
+  using namespace disco;
+  pipeline::PipelineMonitor::Config config;
+  config.base = base_config();
+  config.workers = producers;
+  config.producers = producers;
+  config.ring_capacity = 1u << 14;
+  config.backpressure = pipeline::Backpressure::Block;
+  config.coalescer.slots = 64;
+  pipeline::PipelineMonitor monitor(config);
+
+  modules::ModuleHost host("bench_modules");
+  if (with_modules) {
+    for (auto& module : modules::make_modules("all")) {
+      host.attach(std::move(module));
+    }
+    host.subscribe_to(monitor);
+  }
+
+  const std::uint64_t total_packets =
+      static_cast<std::uint64_t>(producers) * packets_per_producer;
+  std::atomic<std::uint64_t> total_bytes{0};
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      BurstSource source(p);
+      std::uint64_t bytes = 0;
+      for (std::uint64_t i = 0; i < packets_per_producer; ++i) {
+        const auto pkt = source.next();
+        (void)monitor.ingest(p, pkt.flow, pkt.length);
+        bytes += pkt.length;
+      }
+      total_bytes += bytes;
+    });
+  }
+  // Rotate mid-stream at evenly spaced packet thresholds (the last interval
+  // is closed after drain, below).
+  unsigned rotated = 0;
+  while (rotated + 1 < rotations) {
+    if (monitor.packets_seen() >=
+        (rotated + 1) * (total_packets / rotations)) {
+      (void)monitor.rotate();
+      ++rotated;
+    } else {
+      std::this_thread::yield();
+    }
+    if (monitor.packets_seen() >= total_packets) break;
+  }
+  for (auto& t : threads) t.join();
+  monitor.drain();
+  (void)monitor.rotate();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  RunResult r;
+  r.mpps = static_cast<double>(total_packets) / elapsed / 1e6;
+  r.gbps = static_cast<double>(total_bytes.load()) * 8.0 / elapsed / 1e9;
+  r.coalesced = monitor.coalesced();
+  return r;
+}
+
 /// Strips `--json=<path>` from argv; returns the path ("" when absent).
 std::string parse_json_flag(int* argc, char** argv) {
   std::string path;
@@ -192,6 +262,13 @@ struct AbRow {
   unsigned producers;
   RunResult table_off;
   RunResult table_on;
+};
+
+struct ModuleRow {
+  unsigned producers;
+  unsigned rotations;
+  RunResult without;
+  RunResult with;
 };
 
 }  // namespace
@@ -263,6 +340,33 @@ int main(int argc, char** argv) {
   std::cout << "(both rows produce bit-identical estimates; the table only\n"
                "removes the log/exp/pow calls from each update decision.)\n";
 
+  // --- module-overhead ablation ---------------------------------------------
+  // Same pipeline, rotating mid-stream: once with no epoch subscribers, once
+  // with all built-in analysis modules attached.  Modules run on the
+  // control-plane thread at rotate(), so ingest throughput should be nearly
+  // untouched -- this section is the number that claim rests on
+  // (docs/modules.md, EXPERIMENTS.md).
+  constexpr unsigned kRotations = 8;
+  std::cout << "\nmodule-overhead ablation (" << kRotations
+            << " rotations mid-stream, all built-in modules):\n";
+  std::vector<ModuleRow> module_rows;
+  stats::TextTable mods({"producers", "no-modules Mpps", "modules Mpps",
+                         "overhead"});
+  for (unsigned producers : {1u, 2u}) {
+    const RunResult without = run_pipeline_with_modules(
+        producers, packets_per_producer, kRotations, false);
+    const RunResult with = run_pipeline_with_modules(
+        producers, packets_per_producer, kRotations, true);
+    module_rows.push_back({producers, kRotations, without, with});
+    const double overhead = without.mpps > 0.0
+                                ? (without.mpps - with.mpps) / without.mpps
+                                : 0.0;
+    mods.add_row({std::to_string(producers), stats::fmt(without.mpps, 2),
+                  stats::fmt(with.mpps, 2),
+                  stats::fmt(overhead * 100.0, 1) + "%"});
+  }
+  mods.print(std::cout);
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"bench_pipeline\",\n"
@@ -288,6 +392,19 @@ int main(int argc, char** argv) {
           << ", \"table_on_mpps\": " << r.table_on.mpps
           << ", \"speedup\": " << r.table_on.mpps / r.table_off.mpps << "}"
           << (i + 1 < ab_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"modules\": [\n";
+    for (std::size_t i = 0; i < module_rows.size(); ++i) {
+      const ModuleRow& r = module_rows[i];
+      const double overhead =
+          r.without.mpps > 0.0 ? (r.without.mpps - r.with.mpps) / r.without.mpps
+                               : 0.0;
+      out << "    {\"producers\": " << r.producers
+          << ", \"rotations\": " << r.rotations
+          << ", \"no_modules_mpps\": " << r.without.mpps
+          << ", \"modules_mpps\": " << r.with.mpps
+          << ", \"overhead\": " << overhead << "}"
+          << (i + 1 < module_rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     if (!out) {

@@ -5,43 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/theory.hpp"
+
 namespace disco::core {
-
-namespace {
-
-/// Inverse standard-normal CDF (Acklam's rational approximation, relative
-/// error < 1.2e-9) -- enough for confidence intervals.
-double probit(double p) {
-  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
-                                 -2.759285104469687e+02, 1.383577518672690e+02,
-                                 -3.066479806614716e+01, 2.506628277459239e+00};
-  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
-                                 -1.556989798598866e+02, 6.680131188771972e+01,
-                                 -1.328068155288572e+01};
-  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
-                                 -2.400758277161838e+00, -2.549732539343734e+00,
-                                 4.374664141464968e+00,  2.938163982698783e+00};
-  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
-                                 2.445134137142996e+00, 3.754408661907416e+00};
-  constexpr double p_low = 0.02425;
-  if (p < p_low) {
-    const double q = std::sqrt(-2.0 * std::log(p));
-    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
-           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
-  }
-  if (p <= 1.0 - p_low) {
-    const double q = p - 0.5;
-    const double r = q * q;
-    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
-           q /
-           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
-  }
-  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
-  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
-         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
-}
-
-}  // namespace
 
 void DiscoParams::attach_table(std::shared_ptr<const DecisionTable> table) {
   if (!table) {
@@ -195,9 +161,31 @@ DiscoParams::ConfidenceInterval DiscoParams::confidence_interval(
   // Corollary 1 bounds the coefficient of variation by sqrt((b-1)/(b+1));
   // under the normal approximation the two-sided interval is z * e wide.
   const double e = std::sqrt((b() - 1.0) / (b() + 1.0));
-  const double z = probit(0.5 + confidence / 2.0);
+  const double z = theory::normal_quantile(0.5 + confidence / 2.0);
   ci.low = std::max(0.0, ci.estimate * (1.0 - z * e));
   ci.high = ci.estimate * (1.0 + z * e);
+  return ci;
+}
+
+DiscoParams::ConfidenceInterval DiscoParams::interval_for_estimate(
+    double estimate, double confidence) const {
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument(
+        "DiscoParams::interval_for_estimate: confidence must be in (0, 1)");
+  }
+  if (!(estimate >= 0.0)) {
+    throw std::invalid_argument(
+        "DiscoParams::interval_for_estimate: estimate must be >= 0");
+  }
+  // Same Corollary 1 relative half-width as confidence_interval, applied to
+  // a continuous estimate directly: epoch reports carry f(c), not c, so
+  // consumers of rotate() output never need to invert through the counter.
+  ConfidenceInterval ci;
+  ci.estimate = estimate;
+  const double e = std::sqrt((b() - 1.0) / (b() + 1.0));
+  const double z = theory::normal_quantile(0.5 + confidence / 2.0);
+  ci.low = std::max(0.0, estimate * (1.0 - z * e));
+  ci.high = estimate * (1.0 + z * e);
   return ci;
 }
 

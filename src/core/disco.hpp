@@ -122,6 +122,14 @@ class DiscoParams {
   [[nodiscard]] ConfidenceInterval confidence_interval(
       std::uint64_t c, double confidence = 0.95) const;
 
+  /// Same interval directly from a traffic estimate f(c) rather than a raw
+  /// counter -- the epoch-report accessor: rotate() exports estimates, so
+  /// downstream consumers (analysis modules, collectors) can attach
+  /// Theorem 2 intervals without inverting back to counter space.  Requires
+  /// estimate >= 0 and confidence in (0, 1).
+  [[nodiscard]] ConfidenceInterval interval_for_estimate(
+      double estimate, double confidence = 0.95) const;
+
   /// Applies Algorithm 1: returns the new counter value.
   [[nodiscard]] std::uint64_t update(std::uint64_t c, std::uint64_t l,
                                      util::Rng& rng) const noexcept {

@@ -31,4 +31,10 @@ namespace disco::core::theory {
 /// counting total traffic n.
 [[nodiscard]] double expected_counter_upper_bound(double b, double n);
 
+/// Standard normal quantile (probit) via the Acklam rational approximation
+/// (|error| < 1.15e-9 over (0, 1)).  This is the z in every Theorem 2
+/// normal-approximation interval: DiscoParams::confidence_interval uses it
+/// for single counters, and the modules layer for aggregates of estimates.
+[[nodiscard]] double normal_quantile(double p);
+
 }  // namespace disco::core::theory

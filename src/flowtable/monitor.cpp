@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "telemetry/registry.hpp"
 
@@ -282,12 +283,18 @@ FlowMonitor::MemoryReport FlowMonitor::memory() const {
                       table_.storage_bits()};
 }
 
+void FlowMonitor::subscribe(EpochSubscriber subscriber) {
+  if (subscriber) subscribers_.push_back(std::move(subscriber));
+}
+
 FlowMonitor::EpochReport FlowMonitor::rotate() {
   sync_pressure_counters();
   EpochReport report;
   report.epoch = epoch_;
   report.totals = totals();
   report.pressure = pressure_;
+  report.volume_b = volume_.params().b();
+  report.size_b = size_.params().b();
   report.flows.reserve(table_.size());
   table_.for_each([&](std::uint32_t slot, const FiveTuple& key) {
     report.flows.push_back(
@@ -303,6 +310,9 @@ FlowMonitor::EpochReport FlowMonitor::rotate() {
   std::fill(last_seen_ns_.begin(), last_seen_ns_.end(), 0);
   ++epoch_;
   metrics_.occupancy->set(0);
+  // Notify after the monitor is fully reset for the next epoch, so a
+  // subscriber observing telemetry or table state sees the new epoch.
+  for (const auto& subscriber : subscribers_) subscriber(report);
   return report;
 }
 

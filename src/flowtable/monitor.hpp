@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <span>
@@ -145,8 +146,36 @@ class FlowMonitor {
     /// Cumulative degradation counters as of rotation, so a collector can
     /// tell a clean report from one produced under table pressure.
     PressureStats pressure{};
+    /// Effective DISCO base of the volume / size counter arrays when this
+    /// report was produced (b drifts upward under RescaleB).  Downstream
+    /// consumers attach Theorem 2 confidence intervals to the estimates via
+    /// core::DiscoParams(b).interval_for_estimate(...) -- the modules layer
+    /// (src/modules, docs/modules.md) does exactly this.  Merged reports
+    /// (sharded / pipeline rotate) carry the max across shards, so derived
+    /// intervals are conservative for every member flow.
+    double volume_b = 0.0;
+    double size_b = 0.0;
   };
   EpochReport rotate();
+
+  // --- epoch subscriptions ---------------------------------------------------
+  /// A streaming consumer of epoch reports (the analysis-module layer's entry
+  /// point -- see docs/modules.md).  Called synchronously inside rotate(), on
+  /// the rotating thread, after the report is fully built and the tables have
+  /// been cleared for the next epoch.
+  using EpochSubscriber = std::function<void(const EpochReport&)>;
+
+  /// Registers a subscriber for every future rotate().  Subscribers are
+  /// invoked in registration order and may not call back into this monitor
+  /// from inside the callback.  Like telemetry_prefix, subscriptions are
+  /// runtime wiring, not measurement state: snapshot()/restore() does not
+  /// persist them.
+  void subscribe(EpochSubscriber subscriber);
+
+  /// Number of registered epoch subscribers.
+  [[nodiscard]] std::size_t subscriber_count() const noexcept {
+    return subscribers_.size();
+  }
 
   /// Cumulative degradation counters since construction (docs/robustness.md).
   /// Always current at API boundaries: saturation/rescale events are synced
@@ -214,6 +243,7 @@ class FlowMonitor {
   std::uint64_t packets_seen_ = 0;
   std::uint64_t epoch_ = 0;
   Metrics metrics_;
+  std::vector<EpochSubscriber> subscribers_;
 };
 
 }  // namespace disco::flowtable

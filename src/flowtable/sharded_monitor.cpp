@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "telemetry/registry.hpp"
 
@@ -103,6 +104,10 @@ FlowMonitor::MemoryReport ShardedFlowMonitor::memory() const {
   return aggregate;
 }
 
+void ShardedFlowMonitor::subscribe(FlowMonitor::EpochSubscriber subscriber) {
+  if (subscriber) subscribers_.push_back(std::move(subscriber));
+}
+
 FlowMonitor::EpochReport ShardedFlowMonitor::rotate() {
   FlowMonitor::EpochReport merged;
   bool first = true;
@@ -119,7 +124,14 @@ FlowMonitor::EpochReport ShardedFlowMonitor::rotate() {
     merged.totals.packets += report.totals.packets;
     merged.totals.flows += report.totals.flows;
     merged.pressure += report.pressure;
+    // RescaleB may have diverged the shards' effective bases; the max keeps
+    // intervals derived from the merged report conservative for every flow.
+    merged.volume_b = std::max(merged.volume_b, report.volume_b);
+    merged.size_b = std::max(merged.size_b, report.size_b);
   }
+  // Subscribers run outside every shard lock: a module that queries this
+  // monitor from its callback must not deadlock.
+  for (const auto& subscriber : subscribers_) subscriber(merged);
   return merged;
 }
 

@@ -60,8 +60,16 @@ class ShardedFlowMonitor {
   /// Ends the measurement epoch on every shard and returns the merged
   /// report.  Shards rotate one at a time; packets ingested concurrently
   /// land in either the old or the new epoch of their shard (the standard
-  /// epoch-boundary semantics of a distributed monitor).
+  /// epoch-boundary semantics of a distributed monitor).  Registered epoch
+  /// subscribers observe the MERGED report exactly once per rotate, on the
+  /// rotating thread, after every shard lock has been released -- so module
+  /// state is owned by whoever calls rotate(), never by a shard.
   FlowMonitor::EpochReport rotate();
+
+  /// Subscribes a streaming consumer to merged epoch reports (see
+  /// FlowMonitor::subscribe and docs/modules.md).  Not thread-safe against
+  /// concurrent rotate(): register subscribers before the monitor goes live.
+  void subscribe(FlowMonitor::EpochSubscriber subscriber);
 
   /// Idle eviction across all shards; returns the merged evicted set.
   std::vector<FlowMonitor::FlowEstimate> evict_idle(std::uint64_t now_ns,
@@ -102,6 +110,7 @@ class ShardedFlowMonitor {
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<FlowMonitor::EpochSubscriber> subscribers_;
 };
 
 }  // namespace disco::flowtable

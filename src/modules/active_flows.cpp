@@ -1,0 +1,59 @@
+#include "modules/active_flows.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "modules/json_util.hpp"
+
+namespace disco::modules {
+
+ActiveFlowsModule::ActiveFlowsModule(const ModuleOptions& options)
+    : options_(options) {}
+
+void ActiveFlowsModule::on_epoch(const EpochReport& report) {
+  const std::size_t flows = report.totals.flows;
+  last_flows_ = flows;
+  peak_flows_ = std::max(peak_flows_, flows);
+  total_flows_ += flows;
+  const double alpha = options_.ewma_alpha;
+  ewma_flows_ = epochs_ == 0
+                    ? static_cast<double>(flows)
+                    : alpha * static_cast<double>(flows) + (1.0 - alpha) * ewma_flows_;
+  last_bytes_ = report.totals.bytes;
+  last_bytes_per_flow_ = flows > 0 ? report.totals.bytes / static_cast<double>(flows) : 0.0;
+  ++epochs_;
+}
+
+void ActiveFlowsModule::reset() {
+  epochs_ = 0;
+  last_flows_ = 0;
+  peak_flows_ = 0;
+  total_flows_ = 0;
+  ewma_flows_ = 0.0;
+  last_bytes_ = 0.0;
+  last_bytes_per_flow_ = 0.0;
+}
+
+void ActiveFlowsModule::export_text(std::ostream& out) const {
+  out << "active-flows: " << epochs_ << " epoch(s)\n"
+      << "  last " << last_flows_ << "  ewma " << ewma_flows_ << "  peak "
+      << peak_flows_ << "  flow-epochs " << total_flows_ << '\n'
+      << "  last epoch bytes " << last_bytes_ << "  bytes/flow "
+      << last_bytes_per_flow_ << '\n';
+}
+
+std::string ActiveFlowsModule::export_json() const {
+  std::ostringstream out;
+  out << "{\"module\": \"active-flows\", \"epochs\": " << epochs_
+      << ", \"last_flows\": " << last_flows_
+      << ", \"ewma_flows\": " << json::number(ewma_flows_)
+      << ", \"peak_flows\": " << peak_flows_
+      << ", \"flow_epochs\": " << total_flows_
+      << ", \"last_bytes\": " << json::number(last_bytes_)
+      << ", \"last_bytes_per_flow\": " << json::number(last_bytes_per_flow_)
+      << '}';
+  return out.str();
+}
+
+}  // namespace disco::modules

@@ -1,0 +1,49 @@
+// active-flows -- flow-count tracking with EWMA smoothing.
+//
+// Modeled on the CoMo exemplar active-flows.c: how many distinct flows were
+// live in each epoch, smoothed so a collector can plot load without epoch
+// noise, plus per-flow byte averages.  The flow count comes from the flow
+// table (exact, not estimated); byte totals are DISCO estimates.
+//
+// Options read: ewma_alpha.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "modules/module.hpp"
+
+namespace disco::modules {
+
+class ActiveFlowsModule final : public AnalysisModule {
+ public:
+  explicit ActiveFlowsModule(const ModuleOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "active-flows";
+  }
+  void on_epoch(const EpochReport& report) override;
+  void reset() override;
+  void export_text(std::ostream& out) const override;
+  [[nodiscard]] std::string export_json() const override;
+
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] std::size_t last_flows() const noexcept { return last_flows_; }
+  [[nodiscard]] double ewma_flows() const noexcept { return ewma_flows_; }
+  [[nodiscard]] std::size_t peak_flows() const noexcept { return peak_flows_; }
+  [[nodiscard]] std::uint64_t total_flows() const noexcept { return total_flows_; }
+
+ private:
+  ModuleOptions options_;
+  std::uint64_t epochs_ = 0;
+  std::size_t last_flows_ = 0;
+  std::size_t peak_flows_ = 0;
+  std::uint64_t total_flows_ = 0;  ///< sum over epochs (flow-epochs)
+  double ewma_flows_ = 0.0;
+  double last_bytes_ = 0.0;
+  double last_bytes_per_flow_ = 0.0;
+};
+
+}  // namespace disco::modules

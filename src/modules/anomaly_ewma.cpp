@@ -1,0 +1,94 @@
+#include "modules/anomaly_ewma.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "modules/json_util.hpp"
+
+namespace disco::modules {
+
+AnomalyEwmaModule::AnomalyEwmaModule(const ModuleOptions& options)
+    : options_(options) {}
+
+bool AnomalyEwmaModule::Series::update(double value, double alpha,
+                                       double sigmas, bool armed,
+                                       Alarm* alarm) {
+  bool fired = false;
+  const double sigma = std::sqrt(variance);
+  if (armed && sigma > 0.0 && std::abs(value - mean) > sigmas * sigma) {
+    alarm->value = value;
+    alarm->forecast = mean;
+    alarm->sigma = sigma;
+    fired = true;
+  }
+  const double delta = value - mean;
+  mean += alpha * delta;
+  // EW variance of the one-step forecast error (Roberts' EWMA control
+  // chart form): decays old surprise, absorbs the new one.
+  variance = (1.0 - alpha) * (variance + alpha * delta * delta);
+  return fired;
+}
+
+void AnomalyEwmaModule::track(Series& series, double value,
+                              std::string_view metric) {
+  const bool armed = epochs_ >= options_.alarm_warmup_epochs;
+  Alarm alarm;
+  alarm.epoch = current_epoch_;
+  alarm.metric = metric;
+  if (series.update(value, options_.ewma_alpha, options_.alarm_sigmas, armed,
+                    &alarm)) {
+    if (alarms_.size() >= kMaxAlarms) {
+      alarms_.erase(alarms_.begin());
+    }
+    alarms_.push_back(alarm);
+  }
+}
+
+void AnomalyEwmaModule::on_epoch(const EpochReport& report) {
+  current_epoch_ = report.epoch;
+  track(bytes_, report.totals.bytes, "bytes");
+  track(packets_, report.totals.packets, "packets");
+  ++epochs_;
+}
+
+void AnomalyEwmaModule::reset() {
+  bytes_ = {};
+  packets_ = {};
+  epochs_ = 0;
+  current_epoch_ = 0;
+  alarms_.clear();
+}
+
+void AnomalyEwmaModule::export_text(std::ostream& out) const {
+  out << "anomaly-ewma: " << epochs_ << " epoch(s), " << alarms_.size()
+      << " alarm(s)\n"
+      << "  forecast bytes " << bytes_.mean << " sigma "
+      << std::sqrt(bytes_.variance) << "  packets " << packets_.mean << '\n';
+  for (const Alarm& alarm : alarms_) {
+    out << "  ALARM epoch " << alarm.epoch << ' ' << alarm.metric << ' '
+        << alarm.value << " vs forecast " << alarm.forecast << " (sigma "
+        << alarm.sigma << ")\n";
+  }
+}
+
+std::string AnomalyEwmaModule::export_json() const {
+  std::ostringstream out;
+  out << "{\"module\": \"anomaly-ewma\", \"epochs\": " << epochs_
+      << ", \"forecast_bytes\": " << json::number(bytes_.mean)
+      << ", \"forecast_packets\": " << json::number(packets_.mean)
+      << ", \"alarms\": [";
+  bool first = true;
+  for (const Alarm& alarm : alarms_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"epoch\": " << alarm.epoch << ", \"metric\": \"" << alarm.metric
+        << "\", \"value\": " << json::number(alarm.value)
+        << ", \"forecast\": " << json::number(alarm.forecast)
+        << ", \"sigma\": " << json::number(alarm.sigma) << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace disco::modules

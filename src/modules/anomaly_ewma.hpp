@@ -1,0 +1,72 @@
+// anomaly-ewma -- EWMA-based volume anomaly alarms.
+//
+// Modeled on the CoMo exemplar anomaly-ewma.c: track exponentially weighted
+// mean and variance of each epoch's total byte and packet estimates, and
+// raise an alarm when an epoch deviates from its forecast by more than
+// `alarm_sigmas` EW standard deviations.  Warmup epochs build the baseline
+// before alarms may fire; the EWMA is updated with the anomalous value too
+// (a level shift eventually becomes the new normal, as in the original).
+//
+// Options read: ewma_alpha, alarm_sigmas, alarm_warmup_epochs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "modules/module.hpp"
+
+namespace disco::modules {
+
+class AnomalyEwmaModule final : public AnalysisModule {
+ public:
+  explicit AnomalyEwmaModule(const ModuleOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "anomaly-ewma";
+  }
+  void on_epoch(const EpochReport& report) override;
+  void reset() override;
+  void export_text(std::ostream& out) const override;
+  [[nodiscard]] std::string export_json() const override;
+
+  struct Alarm {
+    std::uint64_t epoch = 0;
+    std::string_view metric;  ///< "bytes" or "packets" (static storage)
+    double value = 0.0;
+    double forecast = 0.0;  ///< EWMA mean before this epoch was folded in
+    double sigma = 0.0;     ///< EW standard deviation before this epoch
+  };
+  [[nodiscard]] const std::vector<Alarm>& alarms() const noexcept {
+    return alarms_;
+  }
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] double forecast_bytes() const noexcept { return bytes_.mean; }
+
+ private:
+  /// One EW-tracked series (bytes or packets).
+  struct Series {
+    double mean = 0.0;
+    double variance = 0.0;
+    /// Folds `value` in; returns true when it breached the alarm band
+    /// (checked against the mean/variance BEFORE the update).
+    bool update(double value, double alpha, double sigmas, bool armed,
+                Alarm* alarm);
+  };
+
+  void track(Series& series, double value, std::string_view metric);
+
+  ModuleOptions options_;
+  Series bytes_;
+  Series packets_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t current_epoch_ = 0;  ///< epoch id of the report in flight
+  std::vector<Alarm> alarms_;
+
+  /// Alarm history is capped; older alarms are dropped from the front.
+  static constexpr std::size_t kMaxAlarms = 64;
+};
+
+}  // namespace disco::modules

@@ -1,0 +1,179 @@
+#include "modules/host.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "modules/active_flows.hpp"
+#include "modules/anomaly_ewma.hpp"
+#include "modules/application.hpp"
+#include "modules/autofocus.hpp"
+#include "modules/scanner.hpp"
+#include "modules/top_keys.hpp"
+#include "telemetry/registry.hpp"
+
+namespace disco::modules {
+
+namespace {
+
+/// Registry-safe spelling of a module name: '-' becomes '_' so metric paths
+/// stay single-token per dot segment.
+std::string metric_name(std::string_view module_name) {
+  std::string out(module_name);
+  for (char& c : out) {
+    if (c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+ModuleHost::ModuleHost(std::string telemetry_prefix)
+    : telemetry_prefix_(std::move(telemetry_prefix)) {}
+
+AnalysisModule& ModuleHost::attach(std::unique_ptr<AnalysisModule> module) {
+  if (module == nullptr) {
+    throw std::invalid_argument("ModuleHost::attach: null module");
+  }
+  if (find(module->name()) != nullptr) {
+    throw std::invalid_argument("ModuleHost::attach: duplicate module name '" +
+                                std::string(module->name()) + "'");
+  }
+  auto& registry = telemetry::Registry::global();
+  const std::string base =
+      telemetry_prefix_ + '.' + metric_name(module->name());
+  Entry entry;
+  entry.module = std::move(module);
+  entry.epochs = &registry.counter(base + ".epochs_total");
+  entry.flows = &registry.counter(base + ".flows_total");
+  entry.epoch_ns = &registry.histogram(base + ".epoch_ns");
+  entries_.push_back(std::move(entry));
+  return *entries_.back().module;
+}
+
+void ModuleHost::on_epoch(const EpochReport& report) {
+  for (Entry& entry : entries_) {
+    {
+      telemetry::ScopeTimer timer(*entry.epoch_ns);
+      entry.module->on_epoch(report);
+    }
+    entry.epochs->inc();
+    entry.flows->inc(report.flows.size());
+  }
+  ++epochs_dispatched_;
+}
+
+void ModuleHost::flush() {
+  for (Entry& entry : entries_) entry.module->flush();
+}
+
+void ModuleHost::reset() {
+  for (Entry& entry : entries_) entry.module->reset();
+  epochs_dispatched_ = 0;
+}
+
+AnalysisModule* ModuleHost::find(std::string_view name) noexcept {
+  for (Entry& entry : entries_) {
+    if (entry.module->name() == name) return entry.module.get();
+  }
+  return nullptr;
+}
+
+const AnalysisModule* ModuleHost::find(std::string_view name) const noexcept {
+  for (const Entry& entry : entries_) {
+    if (entry.module->name() == name) return entry.module.get();
+  }
+  return nullptr;
+}
+
+void ModuleHost::export_text(std::ostream& out) const {
+  for (const Entry& entry : entries_) {
+    entry.module->export_text(out);
+  }
+}
+
+std::string ModuleHost::export_json() const {
+  std::ostringstream out;
+  out << "{\"epochs\": " << epochs_dispatched_ << ", \"modules\": [";
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    if (!first) out << ", ";
+    first = false;
+    out << entry.module->export_json();
+  }
+  out << "]}";
+  return out.str();
+}
+
+// --- factory ----------------------------------------------------------------
+
+const std::vector<std::string>& available_modules() {
+  static const std::vector<std::string> names = {
+      "topports",     "topdest",          "application", "active-flows",
+      "anomaly-ewma", "scanner-detector", "autofocus",
+  };
+  return names;
+}
+
+std::unique_ptr<AnalysisModule> make_module(std::string_view name,
+                                            const ModuleOptions& options) {
+  if (name == "topports") {
+    return std::make_unique<TopKeysModule>(TopKeyKind::DstPort, options);
+  }
+  if (name == "topdest") {
+    return std::make_unique<TopKeysModule>(TopKeyKind::DstIp, options);
+  }
+  if (name == "application") {
+    return std::make_unique<ApplicationModule>(options);
+  }
+  if (name == "active-flows") {
+    return std::make_unique<ActiveFlowsModule>(options);
+  }
+  if (name == "anomaly-ewma") {
+    return std::make_unique<AnomalyEwmaModule>(options);
+  }
+  if (name == "scanner-detector") {
+    return std::make_unique<ScannerDetectorModule>(options);
+  }
+  if (name == "autofocus") {
+    return std::make_unique<AutofocusModule>(options);
+  }
+  std::string known;
+  for (const std::string& n : available_modules()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown module '" + std::string(name) +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::unique_ptr<AnalysisModule>> make_modules(
+    std::string_view selection, const ModuleOptions& options) {
+  std::vector<std::unique_ptr<AnalysisModule>> out;
+  if (selection.empty() || selection == "all") {
+    for (const std::string& name : available_modules()) {
+      out.push_back(make_module(name, options));
+    }
+    return out;
+  }
+  std::size_t start = 0;
+  while (start <= selection.size()) {
+    std::size_t end = selection.find(',', start);
+    if (end == std::string_view::npos) end = selection.size();
+    const std::string_view name = selection.substr(start, end - start);
+    if (name.empty()) {
+      throw std::invalid_argument("make_modules: empty name in selection");
+    }
+    for (const auto& existing : out) {
+      if (existing->name() == name) {
+        throw std::invalid_argument("make_modules: duplicate module '" +
+                                    std::string(name) + "'");
+      }
+    }
+    out.push_back(make_module(name, options));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace disco::modules

@@ -1,0 +1,93 @@
+#include "modules/scanner.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "modules/json_util.hpp"
+
+namespace disco::modules {
+
+ScannerDetectorModule::ScannerDetectorModule(const ModuleOptions& options)
+    : options_(options) {}
+
+void ScannerDetectorModule::on_epoch(const EpochReport& report) {
+  struct Source {
+    std::unordered_set<std::uint64_t> targets;
+    double packets = 0.0;
+  };
+  std::unordered_map<std::uint32_t, Source> sources;
+  for (const auto& flow : report.flows) {
+    Source& src = sources[flow.flow.src_ip];
+    src.targets.insert((static_cast<std::uint64_t>(flow.flow.dst_ip) << 16) |
+                       flow.flow.dst_port);
+    src.packets += flow.packets;
+  }
+  for (const auto& [ip, src] : sources) {
+    const std::size_t fanout = src.targets.size();
+    if (fanout < options_.scanner_min_fanout) continue;
+    const double per_target = src.packets / static_cast<double>(fanout);
+    if (per_target > options_.scanner_max_packets_per_flow) continue;
+    Suspect& suspect = suspects_[ip];
+    suspect.src_ip = ip;
+    if (fanout >= suspect.peak_fanout) {
+      suspect.peak_fanout = fanout;
+      suspect.packets_per_target = per_target;
+    }
+    suspect.epochs_flagged += 1;
+    suspect.last_epoch = report.epoch;
+  }
+  ++epochs_;
+}
+
+void ScannerDetectorModule::reset() {
+  suspects_.clear();
+  epochs_ = 0;
+}
+
+std::vector<ScannerDetectorModule::Suspect> ScannerDetectorModule::suspects()
+    const {
+  std::vector<Suspect> out;
+  out.reserve(suspects_.size());
+  for (const auto& [ip, suspect] : suspects_) out.push_back(suspect);
+  std::sort(out.begin(), out.end(), [](const Suspect& a, const Suspect& b) {
+    if (a.peak_fanout != b.peak_fanout) return a.peak_fanout > b.peak_fanout;
+    return a.src_ip < b.src_ip;
+  });
+  if (out.size() > options_.top_k) out.resize(options_.top_k);
+  return out;
+}
+
+void ScannerDetectorModule::export_text(std::ostream& out) const {
+  out << "scanner-detector: " << suspects_.size() << " suspect(s) after "
+      << epochs_ << " epoch(s) (fanout >= " << options_.scanner_min_fanout
+      << ", <= " << options_.scanner_max_packets_per_flow << " pkt/target)\n";
+  for (const Suspect& suspect : suspects()) {
+    out << "  " << json::ipv4(suspect.src_ip) << "  fanout "
+        << suspect.peak_fanout << "  pkt/target " << suspect.packets_per_target
+        << "  flagged in " << suspect.epochs_flagged << " epoch(s), last "
+        << suspect.last_epoch << '\n';
+  }
+}
+
+std::string ScannerDetectorModule::export_json() const {
+  std::ostringstream out;
+  out << "{\"module\": \"scanner-detector\", \"epochs\": " << epochs_
+      << ", \"suspect_count\": " << suspects_.size() << ", \"suspects\": [";
+  bool first = true;
+  for (const Suspect& suspect : suspects()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"src\": \"" << json::ipv4(suspect.src_ip)
+        << "\", \"peak_fanout\": " << suspect.peak_fanout
+        << ", \"packets_per_target\": "
+        << json::number(suspect.packets_per_target)
+        << ", \"epochs_flagged\": " << suspect.epochs_flagged
+        << ", \"last_epoch\": " << suspect.last_epoch << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace disco::modules

@@ -1,0 +1,59 @@
+// scanner-detector -- per-source fanout scan detection.
+//
+// Modeled on the CoMo exemplar scanner-detector.c (with the vertical-scan
+// refinement of superaddr.c): a scanning source touches many distinct
+// (dst ip, dst port) targets with very few packets each.  Per epoch, group
+// the flow records by source address; a source is flagged when its distinct
+// target count reaches `scanner_min_fanout` AND its mean estimated packets
+// per target stays at or below `scanner_max_packets_per_flow`.  Flagged
+// sources accumulate across epochs; the report lists the top_k by peak
+// fanout.
+//
+// The packets-per-flow filter uses DISCO *size* estimates -- this is where
+// the paper's claim that one SRAM budget serves both volume and size pays
+// off: fanout alone flags busy servers, fanout + thin flows does not.
+//
+// Options read: top_k, scanner_min_fanout, scanner_max_packets_per_flow.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "modules/module.hpp"
+
+namespace disco::modules {
+
+class ScannerDetectorModule final : public AnalysisModule {
+ public:
+  explicit ScannerDetectorModule(const ModuleOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "scanner-detector";
+  }
+  void on_epoch(const EpochReport& report) override;
+  void reset() override;
+  void export_text(std::ostream& out) const override;
+  [[nodiscard]] std::string export_json() const override;
+
+  struct Suspect {
+    std::uint32_t src_ip = 0;
+    std::size_t peak_fanout = 0;       ///< max distinct targets in one epoch
+    double packets_per_target = 0.0;   ///< at the peak-fanout epoch
+    std::uint64_t epochs_flagged = 0;
+    std::uint64_t last_epoch = 0;
+  };
+  /// Current suspects, peak fanout descending, capped at top_k.
+  [[nodiscard]] std::vector<Suspect> suspects() const;
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+
+ private:
+  ModuleOptions options_;
+  std::unordered_map<std::uint32_t, Suspect> suspects_;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace disco::modules

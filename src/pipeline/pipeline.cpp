@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "telemetry/registry.hpp"
 #include "util/fault.hpp"
@@ -352,6 +353,13 @@ void PipelineMonitor::run_on_worker(unsigned w, Command& command) {
   command.wait();
 }
 
+void PipelineMonitor::subscribe(
+    flowtable::FlowMonitor::EpochSubscriber subscriber) {
+  if (!subscriber) return;
+  const util::MutexLock lock(control_mutex_);
+  subscribers_.push_back(std::move(subscriber));
+}
+
 PipelineMonitor::EpochReport PipelineMonitor::rotate() {
   const util::MutexLock lock(control_mutex_);
   EpochReport merged;
@@ -369,7 +377,14 @@ PipelineMonitor::EpochReport PipelineMonitor::rotate() {
     merged.totals.packets += command.report.totals.packets;
     merged.totals.flows += command.report.totals.flows;
     merged.pressure += command.report.pressure;
+    // Max across shards: RescaleB may diverge per-shard bases, and the max
+    // keeps merged-report confidence intervals conservative.
+    merged.volume_b = std::max(merged.volume_b, command.report.volume_b);
+    merged.size_b = std::max(merged.size_b, command.report.size_b);
   }
+  // Subscribers run on the rotating (control-plane) thread while ingest
+  // continues on the workers; module work never stalls the packet path.
+  for (const auto& subscriber : subscribers_) subscriber(merged);
   return merged;
 }
 

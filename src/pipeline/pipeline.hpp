@@ -108,8 +108,18 @@ class PipelineMonitor {
 
   /// Ends the epoch on every shard and merges the reports.  Shards rotate
   /// one after another on their own threads; concurrent packets land in the
-  /// old or new epoch of their shard.
+  /// old or new epoch of their shard.  Registered epoch subscribers observe
+  /// the MERGED report exactly once per rotate, on the CALLING thread (not a
+  /// worker), while control_mutex_ is held -- so module state needs no
+  /// locking as long as exports happen on the control-plane thread too.
   EpochReport rotate() DISCO_EXCLUDES(control_mutex_);
+
+  /// Subscribes a streaming consumer to merged epoch reports (see
+  /// FlowMonitor::subscribe and docs/modules.md).  Serialises with the other
+  /// control-plane calls; a subscriber must not call back into the
+  /// pipeline's control plane from inside the callback.
+  void subscribe(flowtable::FlowMonitor::EpochSubscriber subscriber)
+      DISCO_EXCLUDES(control_mutex_);
 
   [[nodiscard]] Totals totals() DISCO_EXCLUDES(control_mutex_);
   [[nodiscard]] std::optional<FlowEstimate> query(const FiveTuple& flow)
@@ -205,6 +215,8 @@ class PipelineMonitor {
   std::atomic<bool> accepting_{true};
   bool running_ DISCO_GUARDED_BY(control_mutex_) = false;  ///< workers alive
   std::vector<std::thread> threads_ DISCO_GUARDED_BY(control_mutex_);
+  std::vector<flowtable::FlowMonitor::EpochSubscriber> subscribers_
+      DISCO_GUARDED_BY(control_mutex_);
 
   telemetry::Counter* dropped_metric_ = nullptr;
   telemetry::Counter* blocked_metric_ = nullptr;

@@ -35,6 +35,29 @@ std::uint64_t ExponentialCount::sample(util::Rng& rng) const {
   return std::max(n, min_);
 }
 
+ZipfCount::ZipfCount(double alpha, std::uint64_t n) {
+  if (!(alpha >= 0.0) || n < 1) {
+    throw std::invalid_argument("ZipfCount: alpha >= 0 and n >= 1 required");
+  }
+  if (n > (std::uint64_t{1} << 24)) {
+    throw std::invalid_argument("ZipfCount: n too large for a cdf table");
+  }
+  cdf_.reserve(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -alpha);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding shortfall
+}
+
+std::uint64_t ZipfCount::sample(util::Rng& rng) const {
+  const double u = rng.next_double();  // [0, 1)
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
 UniformCount::UniformCount(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {
   if (lo < 1 || hi < lo) throw std::invalid_argument("UniformCount: need 1 <= lo <= hi");
 }

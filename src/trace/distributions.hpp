@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -65,6 +66,21 @@ class UniformCount final : public CountDistribution {
  private:
   std::uint64_t lo_;
   std::uint64_t hi_;
+};
+
+/// Bounded Zipf: P(X = k) proportional to 1/k^alpha for k in [1, n].  The
+/// canonical heavy-tailed flow-size law for module statistical validation
+/// (see docs/modules.md): a handful of ranks dominate, exactly the shape
+/// top-k / heavy-hitter consumers must get right.  Sampling is inverse-CDF
+/// over a precomputed cumulative table, one uniform draw per sample.
+class ZipfCount final : public CountDistribution {
+ public:
+  /// `alpha` >= 0 (0 degenerates to uniform over [1, n]); `n` >= 1.
+  ZipfCount(double alpha, std::uint64_t n);
+  [[nodiscard]] std::uint64_t sample(util::Rng& rng) const override;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k-1] = P(X <= k), cdf_.back() == 1
 };
 
 /// Always the same count (degenerate; used by theory-validation benches).

@@ -10,8 +10,8 @@ namespace disco::core {
 
 namespace {
 
-double probit(double p) {
-  // Whitelisted: table construction, not the per-packet path.
+double interval_for_estimate(double p) {
+  // Whitelisted: confidence-interval math, not the per-packet path.
   const double q = std::sqrt(-2.0 * std::log(p));
   return q;
 }
@@ -34,7 +34,7 @@ std::uint64_t DiscoParams::merge(std::uint64_t c1, std::uint64_t c2,
 }
 
 double DiscoParams::confidence_interval(double level) const {
-  return std::sqrt(level) * probit(level);
+  return std::sqrt(level) * interval_for_estimate(level);
 }
 
 }  // namespace disco::core

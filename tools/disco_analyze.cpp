@@ -14,6 +14,15 @@
 //   --metrics          enable runtime telemetry, additionally replay the
 //                      trace through a ShardedFlowMonitor, and print the
 //                      metric registry as JSON (see docs/telemetry.md)
+//   --modules a,b,...  replay the trace through a ShardedFlowMonitor with
+//                      the named analysis modules subscribed to rotate()
+//                      ("all" selects every built-in; docs/modules.md) and
+//                      print each module's report
+//   --epochs N         rotations for the --modules replay: the packet
+//                      stream is split into N equal measurement intervals
+//                      (default 4)
+//   --modules-json     emit the module reports as one JSON document
+//                      instead of text
 //
 // Replays the trace against each method and prints the paper's error
 // metrics, plus counter-bit accounting -- the offline half of the pipeline.
@@ -28,6 +37,7 @@
 
 #include "core/disco.hpp"
 #include "flowtable/sharded_monitor.hpp"
+#include "modules/host.hpp"
 #include "stats/experiment.hpp"
 #include "stats/table.hpp"
 #include "telemetry/export.hpp"
@@ -43,7 +53,8 @@ namespace {
   if (error != nullptr) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: disco_analyze <trace.dtrc|trace.pcap> [--bits N]"
                " [--mode volume|size] [--methods a,b,...] [--seed N] [--top K]"
-               " [--ci] [--metrics]\n";
+               " [--ci] [--metrics] [--modules a,b,...|all] [--epochs N]"
+               " [--modules-json]\n";
   std::exit(2);
 }
 
@@ -89,6 +100,9 @@ int main(int argc, char** argv) {
   std::size_t top_k = 0;
   bool with_ci = false;
   bool with_metrics = false;
+  std::string modules_selection;
+  std::size_t module_epochs = 4;
+  bool modules_json = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
       bits = std::atoi(argv[++i]);
@@ -112,6 +126,13 @@ int main(int argc, char** argv) {
       with_ci = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       with_metrics = true;
+    } else if (std::strcmp(argv[i], "--modules") == 0 && i + 1 < argc) {
+      modules_selection = argv[++i];
+    } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      module_epochs = static_cast<std::size_t>(std::atol(argv[++i]));
+      if (module_epochs == 0) usage("--epochs must be >= 1");
+    } else if (std::strcmp(argv[i], "--modules-json") == 0) {
+      modules_json = true;
     } else {
       usage("unknown option");
     }
@@ -183,6 +204,42 @@ int main(int argc, char** argv) {
                     << stats::fmt(ci.high, 0) << "])";
         }
         std::cout << '\n';
+      }
+    }
+
+    if (!modules_selection.empty()) {
+      // Replay the trace through the online monitor with the selected
+      // analysis modules subscribed, rotating `module_epochs` times so the
+      // modules see a stream of measurement intervals (docs/modules.md).
+      modules::ModuleHost host;
+      for (auto& module : modules::make_modules(modules_selection)) {
+        host.attach(std::move(module));
+      }
+      flowtable::ShardedFlowMonitor monitor(
+          {.base = {.max_flows = static_cast<std::size_t>(max_flow_id) + 1,
+                    .counter_bits = bits,
+                    .seed = seed,
+                    .telemetry_prefix = "analyze_modules"},
+           .shards = 4});
+      host.subscribe_to(monitor);
+      const std::size_t per_epoch =
+          std::max<std::size_t>(1, packets.size() / module_epochs);
+      std::size_t in_epoch = 0;
+      for (const auto& p : packets) {
+        monitor.ingest(tuple_for_flow(p.flow_id), p.length);
+        if (++in_epoch >= per_epoch && host.epochs_dispatched() + 1 < module_epochs) {
+          (void)monitor.rotate();
+          in_epoch = 0;
+        }
+      }
+      (void)monitor.rotate();  // final interval
+      host.flush();
+      if (modules_json) {
+        std::cout << "\n" << host.export_json() << "\n";
+      } else {
+        std::cout << "\nmodule reports (" << host.epochs_dispatched()
+                  << " epochs):\n";
+        host.export_text(std::cout);
       }
     }
 
