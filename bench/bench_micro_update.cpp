@@ -12,13 +12,16 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/additive.hpp"
 #include "core/disco.hpp"
 #include "core/disco_fixed.hpp"
 #include "counters/anls.hpp"
 #include "counters/sac.hpp"
 #include "counters/sd.hpp"
+#include "flowtable/flow_table.hpp"
 #include "flowtable/monitor.hpp"
 #include "flowtable/sharded_monitor.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/log_table.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -161,11 +164,6 @@ void BM_BurstAggregated(benchmark::State& state) {
   }
 }
 
-// --- full monitor path ------------------------------------------------------
-// Flow table lookup + volume update + size update per packet: what one
-// ingest costs end to end, and the workload that feeds the telemetry
-// snapshot (ingest/eviction counters, occupancy, probe-length histogram).
-
 std::vector<disco::flowtable::FiveTuple> sample_tuples(std::size_t n) {
   std::vector<disco::flowtable::FiveTuple> tuples(n);
   disco::util::Rng rng(11);
@@ -178,6 +176,95 @@ std::vector<disco::flowtable::FiveTuple> sample_tuples(std::size_t n) {
   }
   return tuples;
 }
+
+// --- estimator A/B ----------------------------------------------------------
+// DiscoArray vs AdditiveErrorArray on the identical slot/length stream --
+// the per-update cost behind bench_pipeline's estimator ablation.  The
+// additive array's occasional halve-all rescale walks are included (and
+// amortised over the long benchmark loop, the regime the estimator is
+// designed for; bench_pipeline's short windows show the other regime).
+
+void BM_AdditiveArrayBatch(benchmark::State& state) {
+  // Mirror of BM_DiscoArrayBatch: one add_batch-shaped pass over 512
+  // counters per iteration, so the two numbers are directly comparable.
+  constexpr std::size_t kBatch = 512;
+  const auto lens = packet_lengths();
+  disco::core::AdditiveErrorArray array(kBatch, kBits);
+  disco::util::Rng rng(1);
+  std::size_t items = 0;
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < kBatch; ++s) {
+      array.add(s, lens[s & 4095], rng);
+    }
+    items += kBatch;
+    benchmark::DoNotOptimize(array);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  state.counters["rescales"] =
+      static_cast<double>(array.rescale_count());
+}
+
+// --- tag-probe A/B ----------------------------------------------------------
+// The SIMD group probe against the portable scalar byte loop, same template
+// with the engine flipped (flowtable/tag_probe.hpp), on a table at the
+// steady-state ~75% load factor.  On builds without SIMD both instances run
+// the scalar engine and the ratio pins to ~1x.
+
+template <bool UseSimd>
+void BM_TagProbeFind(benchmark::State& state) {
+  constexpr std::size_t kCapacity = 8192;
+  disco::flowtable::BasicFlowTable<disco::flowtable::FiveTuple, UseSimd> table(
+      kCapacity);
+  const auto tuples = sample_tuples(8192);
+  for (std::size_t i = 0; i < kCapacity * 3 / 4; ++i) {
+    (void)table.insert_or_get(tuples[i]);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // ~75% hits, 25% misses: misses walk to the group's first empty tag,
+    // the probe pattern the fingerprint compare is built to shortcut.
+    benchmark::DoNotOptimize(table.find(tuples[i & 8191]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+template <bool UseSimd>
+void BM_TagProbeChurn(benchmark::State& state) {
+  // Insert/erase churn at capacity: every erase backward-shifts a cluster,
+  // every insert probes to a fresh slot -- the worst case for tag upkeep.
+  constexpr std::size_t kCapacity = 4096;
+  disco::flowtable::BasicFlowTable<disco::flowtable::FiveTuple, UseSimd> table(
+      kCapacity);
+  const auto tuples = sample_tuples(8192);
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    (void)table.insert_or_get(tuples[i]);
+  }
+  std::size_t in = kCapacity, out = 0, ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.erase(tuples[out++ & 8191]));
+    benchmark::DoNotOptimize(table.insert_or_get(tuples[in++ & 8191]));
+    ops += 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+void BM_TagProbeFindTelemetry(benchmark::State& state) {
+  // BM_TagProbeFindSimd with runtime telemetry forced on, so the sampled
+  // probe-length record (1 in 64 lookups, flow_table.hpp) actually fires
+  // and pays record_slow's three relaxed fetch_adds.  The delta against
+  // BM_TagProbeFindSimd is the observability cost left on the hot path
+  // after sampling; docs/telemetry.md records the before/after numbers.
+  const bool was = disco::telemetry::enabled();
+  disco::telemetry::set_enabled(true);
+  BM_TagProbeFind<disco::flowtable::tagprobe::kHaveSimd>(state);
+  disco::telemetry::set_enabled(was);
+}
+
+// --- full monitor path ------------------------------------------------------
+// Flow table lookup + volume update + size update per packet: what one
+// ingest costs end to end, and the workload that feeds the telemetry
+// snapshot (ingest/eviction counters, occupancy, probe-length histogram).
 
 void BM_MonitorIngest(benchmark::State& state) {
   disco::flowtable::FlowMonitor monitor(
@@ -223,6 +310,12 @@ BENCHMARK(BM_Sac);
 BENCHMARK(BM_AnlsII);
 BENCHMARK(BM_SdExact);
 BENCHMARK(BM_BurstAggregated);
+BENCHMARK(BM_AdditiveArrayBatch);
+BENCHMARK(BM_TagProbeFind<true>)->Name("BM_TagProbeFindSimd");
+BENCHMARK(BM_TagProbeFind<false>)->Name("BM_TagProbeFindScalar");
+BENCHMARK(BM_TagProbeChurn<true>)->Name("BM_TagProbeChurnSimd");
+BENCHMARK(BM_TagProbeChurn<false>)->Name("BM_TagProbeChurnScalar");
+BENCHMARK(BM_TagProbeFindTelemetry);
 BENCHMARK(BM_MonitorIngest);
 BENCHMARK(BM_ShardedMonitorIngest);
 

@@ -1,0 +1,60 @@
+#include "core/additive.hpp"
+
+#include <algorithm>
+
+namespace disco::core {
+
+void AdditiveErrorArray::halve_all(util::Rng& rng) noexcept {
+  for (std::size_t j = 0; j < store_.size(); ++j) {
+    const std::uint64_t c = store_.get(j);
+    std::uint64_t halved = c >> 1;
+    // Odd counters round up with probability 1/2 (even ones draw nothing),
+    // so E[halved] = c / 2 exactly -- the unbiasedness invariant.
+    if ((c & 1) != 0 && rng.bernoulli(0.5)) ++halved;
+    store_.set(j, halved);
+  }
+  ++scale_;
+  ++halvings_;
+}
+
+std::uint64_t AdditiveErrorArray::shift_down(std::uint64_t v, unsigned k,
+                                             util::Rng& rng) noexcept {
+  for (unsigned step = 0; step < k; ++step) {
+    std::uint64_t halved = v >> 1;
+    if ((v & 1) != 0 && rng.bernoulli(0.5)) ++halved;
+    v = halved;
+  }
+  return v;
+}
+
+AdditiveErrorArray AdditiveErrorArray::merge(const AdditiveErrorArray& a,
+                                             const AdditiveErrorArray& b,
+                                             util::Rng& rng) {
+  if (a.size() != b.size() || a.bits() != b.bits()) {
+    throw std::invalid_argument(
+        "AdditiveErrorArray::merge: geometry mismatch");
+  }
+  // Start at the coarser operand's scale; a slot pair that still overflows
+  // restarts the whole merge one scale higher (every slot must live on one
+  // common grid).  Terminates: counters halve toward zero as s grows.
+  for (unsigned s = std::max(a.scale_, b.scale_);; ++s) {
+    AdditiveErrorArray out(a.size(), a.bits());
+    out.scale_ = s;
+    out.halvings_ = a.halvings_ + b.halvings_;
+    bool fits = true;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::uint64_t va =
+          shift_down(a.store_.get(i), s - a.scale_, rng);
+      const std::uint64_t vb =
+          shift_down(b.store_.get(i), s - b.scale_, rng);
+      if (vb > out.store_.max_value() - va) {
+        fits = false;
+        break;
+      }
+      out.store_.set(i, va + vb);
+    }
+    if (fits) return out;
+  }
+}
+
+}  // namespace disco::core

@@ -62,18 +62,26 @@ void put_tuple(std::ostream& out, const FiveTuple& t) {
 FlowMonitor::FlowMonitor(const Config& config)
     : config_(config),
       table_(config.max_flows),
-      volume_(config.max_flows, config.counter_bits,
-              core::DiscoParams::for_budget(config.max_flow_bytes, config.counter_bits)),
-      size_(config.max_flows, config.counter_bits,
-            core::DiscoParams::for_budget(config.max_flow_packets, config.counter_bits)),
+      volume_(config.estimator, config.max_flows, config.counter_bits,
+              config.max_flow_bytes),
+      size_(config.estimator, config.max_flows, config.counter_bits,
+            config.max_flow_packets),
       last_seen_ns_(config.max_flows, 0),
       rng_(config.seed),
       pressure_rng_(config.seed ^ kPressureSeedSalt) {
   if (config.decision_table) {
     // Transcendental-free update fast path; decisions stay bit-identical,
     // and the process-wide table cache de-duplicates across shards.
+    // (CounterBank makes this a no-op for the additive estimator.)
     volume_.attach_decision_table();
     size_.attach_decision_table();
+  }
+  if (config.hugepages) {
+    // Advisory only: the arrays are already allocated, and khugepaged
+    // collapses the ranges in the background where THP is enabled.
+    table_.advise_hugepages();
+    volume_.advise_hugepages();
+    size_.advise_hugepages();
   }
   if (config_.pressure.saturation == SaturationPolicy::RescaleB) {
     volume_.enable_rescale(config_.pressure.rescale_growth,
@@ -106,6 +114,15 @@ bool FlowMonitor::ingest_burst(const FiveTuple& flow, std::uint64_t bytes,
 }
 
 std::size_t FlowMonitor::ingest_batch(std::span<const FlowBurst> bursts) {
+  // The two-phase prefetch walk is only taken under plain Drop admission:
+  // the other policies evict and inherit counters between lookups, so
+  // reordering probes ahead of updates would change what they observe.
+  // Drop's inserts consume no randomness and never touch counters, which
+  // is what makes the phases bit-identical to the single-pass loop.
+  if (config_.prefetch_depth > 0 && bursts.size() > 1 &&
+      config_.pressure.admission == AdmissionPolicy::Drop) {
+    return ingest_batch_prefetch(bursts);
+  }
   std::size_t accepted = 0;
   std::uint64_t accepted_packets = 0;
   std::uint64_t rejected_packets = 0;
@@ -132,6 +149,73 @@ std::size_t FlowMonitor::ingest_batch(std::span<const FlowBurst> bursts) {
     last_seen_ns_[*slot] = burst.last_ns;
     accepted_packets += burst.packets;
     ++accepted;
+  }
+  packets_seen_ += accepted_packets;
+  pressure_.flows_rejected += rejected_bursts;
+  metrics_.rejects->inc(rejected_packets);
+  metrics_.flows_rejected->inc(rejected_bursts);
+  metrics_.ingests->inc(accepted_packets);
+  metrics_.occupancy->set(static_cast<std::int64_t>(table_.size()));
+  sync_pressure_counters();
+  return accepted;
+}
+
+std::size_t FlowMonitor::ingest_batch_prefetch(
+    std::span<const FlowBurst> bursts) {
+  // Window-at-a-time so the scratch arrays live on the stack regardless of
+  // the caller's batch size (the pipeline pops <= 256 messages per visit).
+  constexpr std::size_t kWindow = 256;
+  constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  std::uint64_t hashes[kWindow];
+  std::uint32_t slots[kWindow];
+
+  std::size_t accepted = 0;
+  std::uint64_t accepted_packets = 0;
+  std::uint64_t rejected_packets = 0;
+  std::uint64_t rejected_bursts = 0;
+  for (std::size_t base = 0; base < bursts.size(); base += kWindow) {
+    const std::size_t n = std::min(kWindow, bursts.size() - base);
+    const std::span<const FlowBurst> window = bursts.subspan(base, n);
+    const std::size_t depth = std::min(config_.prefetch_depth, n);
+
+    // Phase 1: probe the window, keeping `depth` tag-group prefetches in
+    // flight ahead of the probes, and pull each accepted slot's counter
+    // words toward the cache for phase 2.
+    for (std::size_t j = 0; j < depth; ++j) {
+      hashes[j] = FlowTable::hash_of(window[j].flow);
+      table_.prefetch(hashes[j]);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j + depth < n) {
+        hashes[j + depth] = FlowTable::hash_of(window[j + depth].flow);
+        table_.prefetch(hashes[j + depth]);
+      }
+      const auto slot = table_.insert_or_get(window[j].flow, hashes[j]);
+      if (slot) {
+        slots[j] = *slot;
+        volume_.prefetch(*slot);
+        size_.prefetch(*slot);
+      } else {
+        slots[j] = kNoSlot;
+      }
+    }
+
+    // Phase 2: counter updates in burst order -- the same volume-then-size
+    // sequence per burst as the single-pass loop, so the RNG stream is
+    // identical burst for burst.
+    for (std::size_t j = 0; j < n; ++j) {
+      const FlowBurst& burst = window[j];
+      if (slots[j] == kNoSlot) {
+        rejected_packets += burst.packets;
+        ++rejected_bursts;
+        continue;
+      }
+      volume_.add(slots[j], burst.bytes, rng_);
+      size_.add(slots[j], burst.packets, rng_);
+      last_seen_ns_[slots[j]] = burst.last_ns;
+      accepted_packets += burst.packets;
+      ++accepted;
+    }
   }
   packets_seen_ += accepted_packets;
   pressure_.flows_rejected += rejected_bursts;
@@ -293,8 +377,10 @@ FlowMonitor::EpochReport FlowMonitor::rotate() {
   report.epoch = epoch_;
   report.totals = totals();
   report.pressure = pressure_;
-  report.volume_b = volume_.params().b();
-  report.size_b = size_.params().b();
+  report.volume_b = volume_.effective_b();
+  report.size_b = size_.effective_b();
+  report.volume_error_unit = volume_.error_unit();
+  report.size_error_unit = size_.error_unit();
   report.flows.reserve(table_.size());
   table_.for_each([&](std::uint32_t slot, const FiveTuple& key) {
     report.flows.push_back(
@@ -317,6 +403,14 @@ FlowMonitor::EpochReport FlowMonitor::rotate() {
 }
 
 void FlowMonitor::snapshot(std::ostream& out) const {
+  if (config_.estimator != EstimatorKind::Disco) {
+    // The v3 format stores each array's effective base b -- a DISCO-mode
+    // notion.  Additive deployments are epoch-scoped (rotate() re-exacts
+    // the scale), so checkpointing them has no use case yet; fail loudly
+    // rather than write a snapshot restore() would misinterpret.
+    throw std::runtime_error(
+        "FlowMonitor::snapshot: additive-error estimator is not snapshotable");
+  }
   put(out, kSnapshotMagic);
   put(out, kSnapshotVersion);
   put(out, static_cast<std::uint64_t>(config_.max_flows));
@@ -336,9 +430,9 @@ void FlowMonitor::snapshot(std::ostream& out) const {
   put(out, pressure_.flows_evicted);
   put(out, pressure_.counters_saturated);
   put(out, pressure_.rescale_events);
-  put(out, volume_.params().b());
+  put(out, volume_.effective_b());
   put(out, volume_.rescale_count());
-  put(out, size_.params().b());
+  put(out, size_.effective_b());
   put(out, size_.rescale_count());
   put(out, static_cast<std::uint64_t>(table_.size()));
   // Entries are keyed by flow, not slot: restore re-derives slot numbers, so

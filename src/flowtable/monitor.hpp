@@ -24,6 +24,7 @@
 
 #include "core/disco.hpp"
 #include "flowtable/burst.hpp"
+#include "flowtable/counter_bank.hpp"
 #include "flowtable/flow_table.hpp"
 #include "flowtable/pressure.hpp"
 #include "telemetry/metrics.hpp"
@@ -60,6 +61,25 @@ class FlowMonitor {
     /// RescaleB events and the cumulative PressureStats -- but the restoring
     /// process chooses its own policies).
     PressureConfig pressure{};
+    /// Estimator family for the volume/size counters (counter_bank.hpp):
+    /// DISCO logarithmic counters (default, multiplicative error), or
+    /// additive-error counters (cheaper updates, additive noise floor).
+    /// snapshot()/restore() is DISCO-only; additive mode throws there.
+    /// Under AdditiveError the pressure saturation policy is moot (those
+    /// counters rescale natively by halving; events surface through the
+    /// usual rescale telemetry).
+    EstimatorKind estimator = EstimatorKind::Disco;
+    /// Batched-ingest lookahead (ingest_batch): hash and prefetch this many
+    /// bursts ahead of the probe, then run the counter updates as a second
+    /// pass over cache-warm slots.  0 restores the single-pass loop.  Only
+    /// a memory-latency knob: estimates, RNG stream, and rejections are
+    /// bit-identical either way (the two-phase walk needs admission ==
+    /// Drop; other policies always take the single-pass loop).
+    std::size_t prefetch_depth = 8;
+    /// Advisory transparent-hugepage backing (util/hugepage.hpp) for the
+    /// flow-table bucket/tag arrays and both counter stores -- trims TLB
+    /// misses at millions of flows.  No-op off Linux or without THP.
+    bool hugepages = false;
   };
 
   explicit FlowMonitor(const Config& config);
@@ -155,6 +175,14 @@ class FlowMonitor {
     /// intervals are conservative for every member flow.
     double volume_b = 0.0;
     double size_b = 0.0;
+    /// Additive-error mode only (Config.estimator == AdditiveError): the
+    /// counting grid 2^s of each array when the report was produced -- the
+    /// `unit` of core::theory::additive_error_sd.  0.0 under DISCO
+    /// estimators (whose error is multiplicative, carried by volume_b /
+    /// size_b).  Merged reports carry the max across shards, like the
+    /// bases.
+    double volume_error_unit = 0.0;
+    double size_error_unit = 0.0;
   };
   EpochReport rotate();
 
@@ -226,10 +254,17 @@ class FlowMonitor {
   /// the telemetry registry (delta since the last sync).
   void sync_pressure_counters();
 
+  /// The two-phase batched walk behind ingest_batch when prefetch_depth > 0
+  /// and admission == Drop: hash + prefetch a few bursts ahead, probe the
+  /// whole window recording slots, then apply the counter updates in burst
+  /// order over cache-warm words.  Bit-identical to the single-pass loop
+  /// (inserts draw no randomness; the adds run in the same order).
+  std::size_t ingest_batch_prefetch(std::span<const FlowBurst> bursts);
+
   Config config_;
   FlowTable table_;
-  core::DiscoArray volume_;
-  core::DiscoArray size_;
+  CounterBank volume_;
+  CounterBank size_;
   std::vector<std::uint64_t> last_seen_ns_;
   util::Rng rng_;
   /// Dedicated stream for pressure decisions (victim sampling, RAP coins):

@@ -128,6 +128,12 @@ FlowMonitor::EpochReport ShardedFlowMonitor::rotate() {
     // intervals derived from the merged report conservative for every flow.
     merged.volume_b = std::max(merged.volume_b, report.volume_b);
     merged.size_b = std::max(merged.size_b, report.size_b);
+    // Additive-mode scale-ups diverge per shard the same way; max keeps the
+    // merged additive-error unit conservative too.
+    merged.volume_error_unit =
+        std::max(merged.volume_error_unit, report.volume_error_unit);
+    merged.size_error_unit =
+        std::max(merged.size_error_unit, report.size_error_unit);
   }
   // Subscribers run outside every shard lock: a module that queries this
   // monitor from its callback must not deadlock.

@@ -1,0 +1,112 @@
+// Group-of-16 fingerprint ("tag") probing -- the SIMD kernel of
+// BasicFlowTable's Swiss-table-style layout.
+//
+// The flow table keeps a parallel array of 1-byte tags, one per bucket:
+// 0 marks an empty bucket, and an occupied bucket stores the top 7 bits of
+// its key's hash with the high bit forced on (so a real tag is never 0).
+// A lookup scans tags 16 at a time from the (unaligned) probe position:
+// one SSE2 compare+movemask yields a bitmask of candidate buckets and a
+// bitmask of empties, so a probe touches one cache line of tags -- and runs
+// zero full-key compares -- before the first candidate.  With 7 tag bits,
+// ~1/128 of non-matching occupied buckets survive to a key compare.
+//
+// This header is the ONLY place in src/ allowed to use raw vector
+// intrinsics (tools/lint_disco.py, rule simd-intrinsics-confined); the rest
+// of the tree consumes the portable scan<UseSimd>() wrapper.  The scalar
+// path computes bit-identical masks with a plain byte loop, which is what
+// makes the differential suite's SIMD-vs-scalar comparison exact:
+// identical masks => identical probe decisions => identical tables.
+//
+// The group width is pinned at 16 for both paths.  An AVX2 32-wide scan
+// would change probe-group geometry (and therefore nothing observable, but
+// it doubles the wrap-around mirror); 16 tags already cover a quarter of a
+// cache line and the movemask is one uop, so SSE2 is the sweet spot -- and
+// it is baseline x86-64, so every 64-bit x86 build gets it without
+// -march flags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(DISCO_FORCE_SCALAR_PROBE) && \
+    (defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC)))
+#define DISCO_TAGPROBE_SIMD 1
+#include <emmintrin.h>
+#else
+#define DISCO_TAGPROBE_SIMD 0
+#endif
+
+namespace disco::flowtable::tagprobe {
+
+/// Buckets scanned per compare.  The table mirrors this many tags past the
+/// end of its array so an unaligned group read never wraps.
+inline constexpr std::size_t kGroupWidth = 16;
+
+/// Tag value of an empty bucket.  make_tag never returns it.
+inline constexpr std::uint8_t kEmptyTag = 0;
+
+/// True when this build probes with SSE2; false on non-x86 targets and
+/// under -DDISCO_SIMD=OFF (which defines DISCO_FORCE_SCALAR_PROBE).
+inline constexpr bool kHaveSimd = DISCO_TAGPROBE_SIMD != 0;
+
+/// The probe ISA compiled into this binary, for bench/host metadata.
+[[nodiscard]] constexpr const char* isa_name() noexcept {
+  return kHaveSimd ? "sse2" : "scalar";
+}
+
+/// Fingerprint of a hash: its top 7 bits, with the high bit set so an
+/// occupied bucket can never collide with kEmptyTag.  The table indexes
+/// with the LOW hash bits (and shard routing mixes the high 32), so the
+/// tag adds bits a cluster's buckets do not already agree on.
+[[nodiscard]] constexpr std::uint8_t make_tag(std::uint64_t hash) noexcept {
+  return static_cast<std::uint8_t>(0x80u | (hash >> 57));
+}
+
+/// Result of scanning one group: bit j set in `match` when tags[j] equals
+/// the needle, in `empty` when tags[j] is kEmptyTag.
+struct GroupMask {
+  std::uint32_t match = 0;
+  std::uint32_t empty = 0;
+};
+
+/// Reference scan: a plain byte loop.  The SIMD path must (and does)
+/// produce exactly these masks -- the differential suite pins it.
+[[nodiscard]] inline GroupMask scan_scalar(const std::uint8_t* tags,
+                                           std::uint8_t needle) noexcept {
+  GroupMask m;
+  for (std::size_t j = 0; j < kGroupWidth; ++j) {
+    m.match |= static_cast<std::uint32_t>(tags[j] == needle ? 1u : 0u) << j;
+    m.empty |= static_cast<std::uint32_t>(tags[j] == kEmptyTag ? 1u : 0u) << j;
+  }
+  return m;
+}
+
+#if DISCO_TAGPROBE_SIMD
+/// SSE2 scan: one unaligned 16-byte load, two compares, two movemasks.
+[[nodiscard]] inline GroupMask scan_sse2(const std::uint8_t* tags,
+                                         std::uint8_t needle) noexcept {
+  const __m128i group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  GroupMask m;
+  m.match = static_cast<std::uint32_t>(_mm_movemask_epi8(
+      _mm_cmpeq_epi8(group, _mm_set1_epi8(static_cast<char>(needle)))));
+  m.empty = static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(group, _mm_setzero_si128())));
+  return m;
+}
+#endif
+
+/// Scans the group starting at `tags` for `needle`.  `UseSimd` selects the
+/// engine per table instantiation (the differential tests run both in one
+/// binary); a UseSimd=true table degrades to the scalar engine when the
+/// build has no SIMD, so the default-instantiated aliases always compile.
+template <bool UseSimd>
+[[nodiscard]] inline GroupMask scan(const std::uint8_t* tags,
+                                    std::uint8_t needle) noexcept {
+#if DISCO_TAGPROBE_SIMD
+  if constexpr (UseSimd) return scan_sse2(tags, needle);
+#endif
+  return scan_scalar(tags, needle);
+}
+
+}  // namespace disco::flowtable::tagprobe

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "flowtable/burst.hpp"
@@ -71,11 +72,20 @@ class BurstCoalescer {
   template <typename Sink>
   void add(const flowtable::FiveTuple& flow, std::uint32_t length,
            std::uint64_t now_ns, Sink&& sink) {
+    add(flow, hash_tuple(flow), length, now_ns, std::forward<Sink>(sink));
+  }
+
+  /// Same, with the tuple hash already in hand (the pipeline's producers
+  /// hash every packet to route it, and the hash rides in the ring
+  /// message) -- must equal hash_tuple(flow).
+  template <typename Sink>
+  void add(const flowtable::FiveTuple& flow, std::uint64_t hash,
+           std::uint32_t length, std::uint64_t now_ns, Sink&& sink) {
     if (table_.empty()) {  // coalescing disabled: pass through
       sink(BurstUpdate{flow, length, 1, now_ns});
       return;
     }
-    Entry& e = table_[hash_tuple(flow) & mask_];
+    Entry& e = table_[hash & mask_];
     if (e.open) {
       if (e.burst.flow == flow) {
         e.burst.bytes += length;

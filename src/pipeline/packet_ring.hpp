@@ -32,6 +32,7 @@
 // indices out of order, so the global order seq_cst buys is unused cost.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstddef>
@@ -73,6 +74,33 @@ class SpscRing {
     slots_[tail & mask_] = value;
     tail_.store(tail + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Producer side, batch variant: grants direct write access to up to `n`
+  /// free slots and shrinks `n` to what was granted (0 when the ring is
+  /// full).  The span is contiguous in the underlying array, so a grant
+  /// stops at the wrap point even when more space exists past it -- callers
+  /// simply prepare again.  The producer writes the granted slots, then
+  /// publishes them with ONE push_commit (one release store for the whole
+  /// batch, against try_push's one per value).  No slot is visible to the
+  /// consumer until the commit, and the two calls must not interleave with
+  /// try_push from the same producer.
+  [[nodiscard]] T* push_prepare(std::size_t& n) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t space = capacity_ - (tail - cached_head_);
+    if (space < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      space = capacity_ - (tail - cached_head_);
+    }
+    const std::size_t until_wrap = capacity_ - (tail & mask_);
+    n = std::min({n, space, until_wrap});
+    return n == 0 ? nullptr : slots_.data() + (tail & mask_);
+  }
+
+  /// Publishes `n` slots written after a push_prepare that granted >= n.
+  void push_commit(std::size_t n) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    tail_.store(tail + n, std::memory_order_release);
   }
 
   /// Consumer side: pops up to `max` values into `out`, returns how many.

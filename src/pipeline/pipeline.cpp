@@ -178,8 +178,11 @@ bool PipelineMonitor::ingest(unsigned producer, const FiveTuple& flow,
     throw std::invalid_argument("PipelineMonitor::ingest: bad producer id");
   }
   if (!accepting_.load(std::memory_order_acquire)) return false;
-  Worker& worker =
-      *workers_[worker_of(flow, static_cast<unsigned>(workers_.size()))];
+  // One hash serves routing (high bits, as worker_of), the worker's
+  // coalescer slot, and the flow-table probe (low bits) -- it rides in the
+  // message so no downstream stage rehashes.
+  const std::uint64_t hash = hash_tuple(flow);
+  Worker& worker = *workers_[(hash >> 32) % workers_.size()];
   SpscRing<Message>& ring = *worker.rings[producer];
   // Fault points (compile to nothing without DISCO_FAULTS): kClockSkew
   // perturbs the timestamp feeding burst-boundary decisions downstream;
@@ -187,7 +190,8 @@ bool PipelineMonitor::ingest(unsigned producer, const FiveTuple& flow,
   // behind, exercising the real Drop/Block backpressure paths.  The Block
   // retry loop is deliberately un-faulted, or an always-firing plan would
   // spin the producer forever.
-  const Message msg{flow, length, util::fault::skew_clock(now_ns), nullptr};
+  Message msg{flow, length, util::fault::skew_clock(now_ns), {}};
+  msg.hash = hash;
   if (!util::fault::fires(util::fault::Point::kRingFull) &&
       ring.try_push(msg)) [[likely]] {
     return true;
@@ -207,6 +211,86 @@ bool PipelineMonitor::ingest(unsigned producer, const FiveTuple& flow,
   return true;
 }
 
+std::size_t PipelineMonitor::ingest_batch(unsigned producer,
+                                          const PacketEvent* packets,
+                                          std::size_t n) {
+  if (producer >= producers_) {
+    throw std::invalid_argument("PipelineMonitor::ingest_batch: bad producer id");
+  }
+  if (n == 0) return 0;
+  if (!accepting_.load(std::memory_order_acquire)) return 0;
+  ProducerStats& stats = *producer_stats_[producer];
+  const unsigned workers = static_cast<unsigned>(workers_.size());
+
+  // Phase 1 -- hash the whole batch up front and bucket by owning worker
+  // (same routing as ingest(): high hash bits).  With one worker the bucket
+  // step is skipped and messages are built straight into the ring span.
+  if (stats.buckets.size() != workers) stats.buckets.resize(workers);
+  if (workers > 1) {
+    for (auto& bucket : stats.buckets) bucket.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t hash = hash_tuple(packets[i].flow);
+      Message msg{packets[i].flow, packets[i].length,
+                  util::fault::skew_clock(packets[i].now_ns), {}};
+      msg.hash = hash;
+      stats.buckets[(hash >> 32) % workers].push_back(msg);
+    }
+  }
+
+  // Phase 2 -- per worker, reserve a contiguous span of ring slots, write
+  // the bucket into it, and publish the whole span with one release store.
+  std::size_t accepted = 0;
+  for (unsigned w = 0; w < workers; ++w) {
+    const Message* bucket = nullptr;
+    std::size_t remaining = 0;
+    if (workers > 1) {
+      bucket = stats.buckets[w].data();
+      remaining = stats.buckets[w].size();
+      if (remaining == 0) continue;
+    } else {
+      remaining = n;
+    }
+    SpscRing<Message>& ring = *workers_[w]->rings[producer];
+    unsigned spins = 0;
+    std::size_t offset = 0;
+    while (remaining > 0) {
+      std::size_t granted = remaining;
+      Message* slots = util::fault::fires(util::fault::Point::kRingFull)
+                           ? nullptr
+                           : ring.push_prepare(granted);
+      if (slots == nullptr) {
+        if (config_.backpressure == Backpressure::Drop) {
+          stats.dropped.fetch_add(remaining, std::memory_order_relaxed);
+          dropped_metric_->inc(remaining);
+          break;
+        }
+        blocked_metric_->inc();
+        do {
+          if (!accepting_.load(std::memory_order_acquire)) return accepted;
+          backoff(spins);
+          granted = remaining;
+        } while ((slots = ring.push_prepare(granted)) == nullptr);
+      }
+      if (bucket != nullptr) {
+        std::copy(bucket + offset, bucket + offset + granted, slots);
+      } else {
+        for (std::size_t i = 0; i < granted; ++i) {
+          const PacketEvent& pkt = packets[offset + i];
+          Message msg{pkt.flow, pkt.length, util::fault::skew_clock(pkt.now_ns),
+                      {}};
+          msg.hash = hash_tuple(pkt.flow);
+          slots[i] = msg;
+        }
+      }
+      ring.push_commit(granted);
+      offset += granted;
+      accepted += granted;
+      remaining -= granted;
+    }
+  }
+  return accepted;
+}
+
 void PipelineMonitor::process_batch(Worker& worker, const Message* batch,
                                     std::size_t n) {
   // Collect the coalescer's emissions for the whole popped batch, then apply
@@ -219,8 +303,10 @@ void PipelineMonitor::process_batch(Worker& worker, const Message* batch,
     worker.bursts.push_back(burst);
   };
   for (std::size_t i = 0; i < n; ++i) {
-    worker.coalescer.add(batch[i].flow, batch[i].length, batch[i].now_ns,
-                         buffer);
+    // Packet-ring messages carry the producer's hash (see Message): the
+    // coalescer reuses it instead of rehashing the tuple per packet.
+    worker.coalescer.add(batch[i].flow, batch[i].hash, batch[i].length,
+                         batch[i].now_ns, buffer);
   }
   (void)worker.monitor.ingest_batch(worker.bursts);
   const std::uint64_t merged = worker.coalescer.merged();
@@ -377,10 +463,15 @@ PipelineMonitor::EpochReport PipelineMonitor::rotate() {
     merged.totals.packets += command.report.totals.packets;
     merged.totals.flows += command.report.totals.flows;
     merged.pressure += command.report.pressure;
-    // Max across shards: RescaleB may diverge per-shard bases, and the max
-    // keeps merged-report confidence intervals conservative.
+    // Max across shards: RescaleB may diverge per-shard bases (and the
+    // additive estimator its per-shard error units), and the max keeps
+    // merged-report confidence intervals conservative.
     merged.volume_b = std::max(merged.volume_b, command.report.volume_b);
     merged.size_b = std::max(merged.size_b, command.report.size_b);
+    merged.volume_error_unit =
+        std::max(merged.volume_error_unit, command.report.volume_error_unit);
+    merged.size_error_unit =
+        std::max(merged.size_error_unit, command.report.size_error_unit);
   }
   // Subscribers run on the rotating (control-plane) thread while ingest
   // continues on the workers; module work never stalls the packet path.

@@ -101,6 +101,29 @@ class PipelineMonitor {
   bool ingest(unsigned producer, const FiveTuple& flow, std::uint32_t length,
               std::uint64_t now_ns = 0);
 
+  /// One packet of the batched ingest path.
+  struct PacketEvent {
+    FiveTuple flow{};
+    std::uint32_t length = 0;
+    std::uint64_t now_ns = 0;
+  };
+
+  /// Batched form of ingest(): enqueues `n` packets and returns how many
+  /// were accepted (all of them under Block backpressure unless the
+  /// pipeline is stopping; possibly fewer under Drop, each miss counted in
+  /// dropped()).  Same per-packet semantics and worker routing as ingest(),
+  /// but the per-packet costs -- the accepting check, worker lookup, and
+  /// above all the ring's release store -- are paid once per batch of
+  /// same-worker packets: the producer hashes the whole batch up front,
+  /// buckets it by owning worker, and writes each bucket straight into a
+  /// reserved span of ring slots (SpscRing::push_prepare/push_commit).  The
+  /// precomputed hash travels in the message, so the worker's coalescer and
+  /// flow table never rehash the tuple.  This is the producer half of the
+  /// batched-prefetch ingest design (docs/architecture.md); a few hundred
+  /// packets per call amortises best, e.g. one NIC rx-burst.
+  std::size_t ingest_batch(unsigned producer, const PacketEvent* packets,
+                           std::size_t n);
+
   // --- control plane (thread-safe; in-band, never stops ingest) -------------
   // All control-plane entry points serialise on control_mutex_ internally
   // (DISCO_EXCLUDES documents they are not reentrant from a context already
@@ -177,13 +200,20 @@ class PipelineMonitor {
 
  private:
   /// One slot of every ring: a packet, or (command rings only) a borrowed
-  /// pointer to a synchronous command the worker fills and signals.
+  /// pointer to a synchronous command the worker fills and signals.  Which
+  /// union member is live is decided by the ring, not the message: packet
+  /// rings carry `hash` (the producer already hashed the tuple to route it,
+  /// and the worker's coalescer and flow table reuse it instead of
+  /// rehashing), the command ring carries `command`.
   struct Command;
   struct Message {
     FiveTuple flow{};
     std::uint32_t length = 0;
     std::uint64_t now_ns = 0;
-    Command* command = nullptr;
+    union {
+      Command* command = nullptr;
+      std::uint64_t hash;
+    };
   };
 
   struct Worker;
@@ -202,6 +232,10 @@ class PipelineMonitor {
     /// Bumped with relaxed fetch_add and read with relaxed loads: a pure
     /// statistic, never used to order other memory.
     alignas(kCacheLine) std::atomic<std::uint64_t> dropped{0};
+    /// ingest_batch staging: one bucket of routed messages per worker.
+    /// Touched only by the (single) thread driving this producer id, like
+    /// the producer side of the rings themselves.
+    std::vector<std::vector<Message>> buckets;
   };
 
   std::vector<std::unique_ptr<Worker>> workers_;

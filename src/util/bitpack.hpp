@@ -12,6 +12,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/hugepage.hpp"
+#include "util/prefetch.hpp"
+
 namespace disco::util {
 
 /// Array of `size` unsigned counters, each exactly `width` bits (1..64),
@@ -78,6 +81,19 @@ class BitPackedArray {
   }
 
   void fill_zero() noexcept { words_.assign(words_.size(), 0); }
+
+  /// Pulls the word(s) holding slot i toward the cache -- the batched
+  /// ingest path prefetches counter words between probing and updating.
+  void prefetch(std::size_t i) const noexcept {
+    prefetch_read(words_.data() + (i * static_cast<std::size_t>(width_)) / 64);
+  }
+
+  /// Advisory transparent-hugepage backing for the packed words
+  /// (util/hugepage.hpp; no-op off Linux).
+  void advise_hugepages() noexcept {
+    util::advise_hugepages(words_.data(),
+                           words_.size() * sizeof(std::uint64_t));
+  }
 
  private:
   std::size_t size_;

@@ -1,0 +1,63 @@
+// Transparent-hugepage advice for large flat arrays.
+//
+// The flow table's bucket/tag arrays and the bit-packed counter stores are
+// allocated once at construction and then random-accessed at line rate; at
+// millions of flows they span thousands of 4 KiB pages, and TLB misses on
+// the probe path become measurable.  `advise_hugepages` asks the kernel
+// (MADV_HUGEPAGE) to back the range with transparent huge pages -- purely
+// advisory, and a no-op on non-Linux builds or kernels with THP disabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace disco::util {
+
+/// Requests transparent-hugepage backing for [p, p + bytes).  madvise needs
+/// page-aligned addresses, so the range is shrunk inward to page boundaries;
+/// returns true when the kernel accepted the (possibly empty) advice.
+inline bool advise_hugepages(void* p, std::size_t bytes) noexcept {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (p == nullptr || bytes == 0) return false;
+  const auto page = static_cast<std::uintptr_t>(sysconf(_SC_PAGESIZE));
+  const auto begin = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t lo = (begin + page - 1) & ~(page - 1);
+  const std::uintptr_t hi = (begin + bytes) & ~(page - 1);
+  if (hi <= lo) return true;  // range smaller than one page: nothing to advise
+  return madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE) == 0;
+#else
+  (void)p;
+  (void)bytes;
+  return false;
+#endif
+}
+
+/// True when the running kernel exposes transparent hugepages in a mode
+/// madvise() can use ("always" or "madvise").  Bench metadata records this
+/// so BENCH_*.json throughput numbers are interpretable across hosts.
+inline bool hugepages_available() noexcept {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  std::FILE* f =
+      std::fopen("/sys/kernel/mm/transparent_hugepage/enabled", "re");
+  if (f == nullptr) return false;
+  char buf[128] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // The active mode is bracketed, e.g. "always [madvise] never".
+  return std::strstr(buf, "[always]") != nullptr ||
+         std::strstr(buf, "[madvise]") != nullptr;
+#else
+  return false;
+#endif
+}
+
+}  // namespace disco::util

@@ -1,0 +1,22 @@
+// Software-prefetch portability shim.
+//
+// The batched ingest path (FlowMonitor::ingest_batch) hashes a window of
+// keys up front and prefetches their tag groups and counter words before
+// probing, hiding the DRAM latency of a cold flow table behind useful work.
+// `__builtin_prefetch` is a GCC/Clang extension; this wrapper compiles to
+// nothing on other compilers so the batch path stays portable.
+#pragma once
+
+namespace disco::util {
+
+/// Hints the cache hierarchy to pull the line holding `p` for a read.
+/// Purely advisory: never faults, even on unmapped addresses.
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace disco::util

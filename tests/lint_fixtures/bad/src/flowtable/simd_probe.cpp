@@ -1,0 +1,14 @@
+// Fixture: seeded simd-intrinsics-confined violation.  Raw vector
+// intrinsics are only allowed in src/flowtable/tag_probe.hpp; this file
+// uses one directly and must be flagged.
+#include <cstdint>
+
+namespace disco::flowtable {
+
+std::uint32_t scan_inline(const std::uint8_t* tags) {
+  const __m128i group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));  // VIOLATION
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(group));
+}
+
+}  // namespace disco::flowtable

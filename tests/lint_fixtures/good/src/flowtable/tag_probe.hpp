@@ -1,0 +1,16 @@
+// Fixture: raw intrinsics in the one file allowed to hold them -- the
+// dedicated probe kernel header.  simd-intrinsics-confined must stay quiet
+// here (suffix match against SIMD_ALLOWED_FILES).
+#pragma once
+
+#include <cstdint>
+
+namespace disco::flowtable::tagprobe {
+
+inline std::uint32_t scan_sse2(const std::uint8_t* tags) {
+  const __m128i group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(group));
+}
+
+}  // namespace disco::flowtable::tagprobe

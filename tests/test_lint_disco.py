@@ -91,6 +91,20 @@ class BadFixtures(unittest.TestCase):
     def test_reasonless_suppression_is_rejected(self):
         self.assert_finding("bad-suppression", "src/core/suppressed.cpp")
 
+    def test_simd_intrinsics_confined_fires(self):
+        self.assert_finding("simd-intrinsics-confined",
+                            "src/flowtable/simd_probe.cpp")
+
+    def test_probe_header_is_exempt(self):
+        # good/src/flowtable/tag_probe.hpp holds raw intrinsics and the good
+        # tree is clean (test_good_tree_is_clean); this pins that the
+        # intrinsics are really there, so the exemption is actually tested.
+        fixture = os.path.join(FIXTURES, "good", "src", "flowtable",
+                               "tag_probe.hpp")
+        with open(fixture, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("_mm_loadu_si128", text)
+
 
 class RuleSelection(unittest.TestCase):
     def test_rules_flag_filters(self):
@@ -112,7 +126,8 @@ class RuleSelection(unittest.TestCase):
         code, out, _ = run_linter("--list-rules")
         self.assertEqual(code, 0)
         for rule in ("hot-path-transcendental", "atomic-memory-order",
-                     "rng-call-site", "header-self-contained"):
+                     "rng-call-site", "header-self-contained",
+                     "simd-intrinsics-confined"):
             self.assertIn(rule, out)
 
 

@@ -320,6 +320,83 @@ TEST(PipelineMonitor, EstimateParityWithFlowMonitor) {
   }
 }
 
+// The batched producer path (hash up front, bucket by worker, write spans
+// of ring slots, one release store per span) must be invisible to the
+// measurement: flow for flow, bit-exact against the per-packet ingest()
+// path.  Multiple workers so the bucketing step actually routes.
+TEST(PipelineMonitor, BatchedIngestMatchesPerPacketIngest) {
+  auto config = pipeline_config(4, 1);
+  config.coalescer.slots = 0;  // deterministic per-packet RNG stream
+  config.telemetry_prefix = "pipeline_batched_a";
+
+  util::Rng rng(4242);
+  std::vector<PipelineMonitor::PacketEvent> trace;
+  trace.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const auto f = static_cast<std::uint32_t>(rng.uniform_u64(0, 199));
+    trace.push_back({tuple(f),
+                     static_cast<std::uint32_t>(rng.uniform_u64(40, 1500)), 0});
+  }
+
+  PipelineMonitor per_packet(config);
+  for (const auto& pkt : trace) {
+    ASSERT_TRUE(per_packet.ingest(0, pkt.flow, pkt.length));
+  }
+  per_packet.drain();
+
+  config.telemetry_prefix = "pipeline_batched_b";
+  PipelineMonitor batched(config);
+  // Uneven chunk sizes so span grants hit ring wrap points at odd offsets.
+  std::size_t off = 0;
+  std::size_t chunk = 1;
+  while (off < trace.size()) {
+    const std::size_t n = std::min(chunk, trace.size() - off);
+    ASSERT_EQ(batched.ingest_batch(0, trace.data() + off, n), n);
+    off += n;
+    chunk = (chunk * 7 + 3) % 509 + 1;
+  }
+  batched.drain();
+
+  EXPECT_EQ(batched.packets_seen(), per_packet.packets_seen());
+  for (std::uint32_t f = 0; f < 200; ++f) {
+    const auto expected = per_packet.query(tuple(f));
+    const auto actual = batched.query(tuple(f));
+    ASSERT_EQ(expected.has_value(), actual.has_value()) << "flow " << f;
+    if (expected) {
+      EXPECT_DOUBLE_EQ(expected->bytes, actual->bytes) << "flow " << f;
+      EXPECT_DOUBLE_EQ(expected->packets, actual->packets) << "flow " << f;
+    }
+  }
+  EXPECT_THROW((void)batched.ingest_batch(99, trace.data(), 1),
+               std::invalid_argument);
+}
+
+// The precomputed-hash overload the pipeline feeds (BurstCoalescer::add
+// with hash_tuple already in hand) must emit exactly what the hashing
+// overload emits.
+TEST(BurstCoalescer, ExplicitHashOverloadMatchesImplicit) {
+  BurstCoalescer a({.slots = 16});
+  BurstCoalescer b({.slots = 16});
+  std::vector<BurstUpdate> ea, eb;
+  util::Rng rng(777);
+  for (int i = 0; i < 5000; ++i) {
+    const auto f = tuple(static_cast<std::uint32_t>(rng.uniform_u64(0, 39)));
+    const auto len = static_cast<std::uint32_t>(rng.uniform_u64(64, 1500));
+    a.add(f, len, i, [&](const BurstUpdate& u) { ea.push_back(u); });
+    b.add(f, flowtable::hash_tuple(f), len, i,
+          [&](const BurstUpdate& u) { eb.push_back(u); });
+  }
+  a.flush([&](const BurstUpdate& u) { ea.push_back(u); });
+  b.flush([&](const BurstUpdate& u) { eb.push_back(u); });
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].flow, eb[i].flow);
+    EXPECT_EQ(ea[i].bytes, eb[i].bytes);
+    EXPECT_EQ(ea[i].packets, eb[i].packets);
+  }
+  EXPECT_EQ(a.merged(), b.merged());
+}
+
 TEST(PipelineMonitor, CoalescedPipelineTracksTruth) {
   // With coalescing ON the estimates are not bit-identical to the per-packet
   // path (different update grouping), but they must stay unbiased: totals

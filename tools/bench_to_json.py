@@ -104,6 +104,54 @@ def run_pressure(build_dir: str, scale: float) -> dict:
         os.unlink(tmp_path)
 
 
+def detect_cpu_count() -> int:
+    """CPUs actually usable by this process, not the machine's socket count.
+
+    os.cpu_count() reports every online CPU even when the process is pinned
+    to a subset (cgroups, taskset, CI runners), which silently inflated the
+    recorded host context.  The affinity mask is what the benches really
+    ran on.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def detect_simd_isa() -> str:
+    """Tag-probe ISA the benches ran with (matches tagprobe::isa_name()).
+
+    The probe path is pinned at SSE2 by design -- a group is 16 tags, one
+    16-byte load (see tag_probe.hpp) -- so the only question is whether the
+    host has it at all.  Wider ISAs in cpuinfo are deliberately not recorded
+    here; they would misstate what the probe actually executed.
+    """
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("flags"):
+                    return "sse2" if "sse2" in line.split(":", 1)[1].split() \
+                        else "scalar"
+    except OSError:
+        pass
+    return "unknown"
+
+
+def detect_hugepages() -> str:
+    """Transparent-hugepage mode ('always'/'madvise'/'never'/'unavailable').
+
+    'madvise' or 'always' means the monitors' hugepages=true knob can take
+    effect; recorded so hugepage ablation rows are interpretable later.
+    """
+    path = "/sys/kernel/mm/transparent_hugepage/enabled"
+    try:
+        with open(path) as f:
+            m = re.search(r"\[(\w+)\]", f.read())
+            return m.group(1) if m else "unknown"
+    except OSError:
+        return "unavailable"
+
+
 def next_output_path() -> str:
     taken = set()
     for name in os.listdir(REPO_ROOT):
@@ -136,7 +184,9 @@ def main() -> int:
         "host": {
             "machine": platform.machine(),
             "system": platform.system(),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": detect_cpu_count(),
+            "simd_isa": detect_simd_isa(),
+            "transparent_hugepages": detect_hugepages(),
         },
         "micro_update": run_micro(args.build_dir, args.min_time),
     }

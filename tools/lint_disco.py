@@ -35,6 +35,14 @@ header-self-contained
     std:: vocabulary types they use, rather than leaning on transitive
     includes that a refactor elsewhere can remove.
 
+simd-intrinsics-confined
+    Raw vector intrinsics (_mm*/_mm256*/__m128i/...) may appear only in the
+    dedicated probe kernel header src/flowtable/tag_probe.hpp.  Everything
+    else must go through its portable scan<UseSimd>() wrapper -- that is
+    what keeps the scalar fallback bit-identical (the differential suite
+    compares the two engines) and keeps -DDISCO_SIMD=OFF builds compiling
+    on any target.
+
 Suppressions
 ------------
 A finding can be suppressed with a justification on the same line or the
@@ -66,8 +74,10 @@ RULE_TRANSCENDENTAL = "hot-path-transcendental"
 RULE_MEMORY_ORDER = "atomic-memory-order"
 RULE_RNG = "rng-call-site"
 RULE_HEADER = "header-self-contained"
+RULE_SIMD = "simd-intrinsics-confined"
 
-ALL_RULES = (RULE_TRANSCENDENTAL, RULE_MEMORY_ORDER, RULE_RNG, RULE_HEADER)
+ALL_RULES = (RULE_TRANSCENDENTAL, RULE_MEMORY_ORDER, RULE_RNG, RULE_HEADER,
+             RULE_SIMD)
 
 # Hot-path files -> functions allowed to call transcendentals.  These are
 # the cold-path helpers inside otherwise-hot translation units.
@@ -115,11 +125,22 @@ RNG_ALLOWED: Dict[str, Set[str]] = {
     # stream -- confining the draws to these two cold-path functions is what
     # keeps the Drop default bit-identical to pre-policy builds.
     "src/flowtable/monitor.cpp": {"admit_under_pressure", "select_victim"},
+    # Additive-error counters (core/additive.hpp): the grid rounding in
+    # add() is the family's one-draw-per-update site; halve_all/shift_down/
+    # merge are the cold-path unbiased remaps (the additive analogue of
+    # RescaleB's randomized rounding).
+    "src/core/additive.hpp": {"add"},
+    "src/core/additive.cpp": {"halve_all", "shift_down", "merge"},
 }
 RNG_DRAW_RE = re.compile(
     r"\b(\w*[Rr]ng\w*)\s*(?:\.|->)\s*"
     r"(next|next_double|bernoulli|uniform_u64|uniform_double|fork)\s*\("
 )
+
+# The one file allowed to use raw vector intrinsics: the probe kernel.
+# Suffix-matched like RNG_ALLOWED, so fixture trees exercise the rule.
+SIMD_ALLOWED_FILES = ("src/flowtable/tag_probe.hpp",)
+SIMD_INTRINSIC_RE = re.compile(r"\b(_mm\d*_\w+|__m\d+[a-z]*)\b")
 
 # std:: vocabulary type -> standard header that must be directly included.
 HEADER_REQUIREMENTS: Sequence[Tuple[re.Pattern, str]] = [
@@ -532,6 +553,24 @@ def check_rng_call_sites(rel: str, code_lines: Sequence[str],
                 f"(allowed here: {sorted(allowed) or 'none'})"))
 
 
+def check_simd_confined(rel: str, code_lines: Sequence[str],
+                        findings: List[Finding]) -> None:
+    if not rel.startswith("src/") and "/src/" not in "/" + rel:
+        return
+    if any(rel == allowed or rel.endswith("/" + allowed)
+           for allowed in SIMD_ALLOWED_FILES):
+        return
+    for idx, line in enumerate(code_lines):
+        m = SIMD_INTRINSIC_RE.search(line)
+        if m:
+            findings.append(Finding(
+                rel, idx + 1, RULE_SIMD,
+                f"raw vector intrinsic '{m.group(0)}' outside "
+                f"src/flowtable/tag_probe.hpp; route it through "
+                f"tagprobe::scan<UseSimd>() so the scalar fallback stays "
+                f"bit-identical and -DDISCO_SIMD=OFF keeps building"))
+
+
 def check_header_self_contained(rel: str, code: str,
                                 directives: Sequence[str],
                                 findings: List[Finding]) -> None:
@@ -617,6 +656,8 @@ def lint_files(paths: Sequence[str], root: str,
         if RULE_HEADER in rules:
             check_header_self_contained(rel, code_text[rel],
                                         directives[rel], file_findings)
+        if RULE_SIMD in rules:
+            check_simd_confined(rel, code_lines[rel], file_findings)
         for f in file_findings:
             if f.rule in suppressions[rel].get(f.line, set()):
                 continue
