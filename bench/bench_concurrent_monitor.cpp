@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "flowtable/sharded_monitor.hpp"
 #include "util/rng.hpp"
+#include "util/atomic.hpp"
 
 namespace {
 
@@ -32,7 +33,7 @@ RunResult run(unsigned threads, std::uint64_t packets_per_thread) {
   config.shards = 64;  // plenty of shards: contention stays on the data, not the map
   flowtable::ShardedFlowMonitor monitor(config);
 
-  std::atomic<std::uint64_t> total_bytes{0};
+  disco::util::atomic<std::uint64_t> total_bytes{0};
   std::vector<std::thread> workers;
   const auto start = Clock::now();
   for (unsigned t = 0; t < threads; ++t) {
@@ -47,7 +48,7 @@ RunResult run(unsigned threads, std::uint64_t packets_per_thread) {
         (void)monitor.ingest(tuple, len);
         bytes += len;
       }
-      total_bytes += bytes;
+      total_bytes.fetch_add(bytes, std::memory_order_relaxed);
     });
   }
   for (auto& w : workers) w.join();
@@ -58,7 +59,7 @@ RunResult run(unsigned threads, std::uint64_t packets_per_thread) {
   const double packets = static_cast<double>(threads) *
                          static_cast<double>(packets_per_thread);
   r.mpps = packets / elapsed / 1e6;
-  r.gbps = static_cast<double>(total_bytes.load()) * 8.0 / elapsed / 1e9;
+  r.gbps = static_cast<double>(total_bytes.load(std::memory_order_relaxed)) * 8.0 / elapsed / 1e9;
   return r;
 }
 

@@ -9,6 +9,9 @@
 // measure the same hot path as a build without instrumentation.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -21,6 +24,7 @@
 #include "flowtable/flow_table.hpp"
 #include "flowtable/monitor.hpp"
 #include "flowtable/sharded_monitor.hpp"
+#include "pipeline/packet_ring.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/log_table.hpp"
 #include "util/math.hpp"
@@ -261,6 +265,75 @@ void BM_TagProbeFindTelemetry(benchmark::State& state) {
   disco::telemetry::set_enabled(was);
 }
 
+// --- atomic-shim A/B --------------------------------------------------------
+// SpscRing declares its indices through util::atomic (the model-check shim,
+// src/util/atomic.hpp), which in a normal build static_asserts itself to be
+// bare std::atomic.  This pair pins that claim empirically: the real ring
+// against a verbatim copy of its push/pop protocol written directly on
+// std::atomic.  bench_to_json.py derives `shim_overhead` from the ratio --
+// it must hover at 1.0, or the shim stopped being free.  (bench/ sits
+// outside lint_disco.py's src/ scan, so the deliberate raw std::atomic
+// here needs no suppression.)
+
+/// Byte-for-byte mirror of SpscRing<std::uint64_t>'s index protocol and
+/// layout, with the shim aliases replaced by the raw standard types.
+class RawSpscRing {
+ public:
+  explicit RawSpscRing(std::size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {}
+
+  bool try_push(std::uint64_t value) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t pop_batch(std::uint64_t* out, std::size_t max) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    std::size_t n = cached_tail_ - head;
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) out[i] = slots_[(head + i) & mask_];
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<std::uint64_t> slots_;
+  alignas(disco::pipeline::kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(disco::pipeline::kCacheLine) std::atomic<std::size_t> tail_{0};
+  alignas(disco::pipeline::kCacheLine) std::size_t cached_head_ = 0;
+  alignas(disco::pipeline::kCacheLine) std::size_t cached_tail_ = 0;
+};
+
+template <typename Ring>
+void BM_SpscRingAB(benchmark::State& state) {
+  // Single-threaded push-then-drain: identical op sequence on both rings
+  // (relaxed own-index load, occasional acquire refresh, release store),
+  // so any timing delta is the shim's.  One item in flight keeps the
+  // cached-index shortcuts on their common path.
+  Ring ring(256);
+  std::uint64_t buf[8];
+  std::uint64_t v = 0;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    (void)ring.try_push(v++);
+    benchmark::DoNotOptimize(ring.pop_batch(buf, 8));
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
 // --- full monitor path ------------------------------------------------------
 // Flow table lookup + volume update + size update per packet: what one
 // ingest costs end to end, and the workload that feeds the telemetry
@@ -316,6 +389,9 @@ BENCHMARK(BM_TagProbeFind<false>)->Name("BM_TagProbeFindScalar");
 BENCHMARK(BM_TagProbeChurn<true>)->Name("BM_TagProbeChurnSimd");
 BENCHMARK(BM_TagProbeChurn<false>)->Name("BM_TagProbeChurnScalar");
 BENCHMARK(BM_TagProbeFindTelemetry);
+BENCHMARK(BM_SpscRingAB<disco::pipeline::SpscRing<std::uint64_t>>)
+    ->Name("BM_SpscRingShim");
+BENCHMARK(BM_SpscRingAB<RawSpscRing>)->Name("BM_SpscRingRaw");
 BENCHMARK(BM_MonitorIngest);
 BENCHMARK(BM_ShardedMonitorIngest);
 

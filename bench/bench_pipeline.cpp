@@ -32,6 +32,7 @@
 #include "modules/host.hpp"
 #include "pipeline/pipeline.hpp"
 #include "util/rng.hpp"
+#include "util/atomic.hpp"
 
 namespace {
 
@@ -94,7 +95,7 @@ RunResult run_sharded(unsigned producers, std::uint64_t packets_per_producer) {
   config.shards = 64;
   flowtable::ShardedFlowMonitor monitor(config);
 
-  std::atomic<std::uint64_t> total_bytes{0};
+  disco::util::atomic<std::uint64_t> total_bytes{0};
   std::vector<std::thread> threads;
   const auto start = Clock::now();
   for (unsigned p = 0; p < producers; ++p) {
@@ -106,7 +107,7 @@ RunResult run_sharded(unsigned producers, std::uint64_t packets_per_producer) {
         (void)monitor.ingest(pkt.flow, pkt.length);
         bytes += pkt.length;
       }
-      total_bytes += bytes;
+      total_bytes.fetch_add(bytes, std::memory_order_relaxed);
     });
   }
   for (auto& t : threads) t.join();
@@ -116,7 +117,7 @@ RunResult run_sharded(unsigned producers, std::uint64_t packets_per_producer) {
   RunResult r;
   r.mpps = static_cast<double>(producers) *
            static_cast<double>(packets_per_producer) / elapsed / 1e6;
-  r.gbps = static_cast<double>(total_bytes.load()) * 8.0 / elapsed / 1e9;
+  r.gbps = static_cast<double>(total_bytes.load(std::memory_order_relaxed)) * 8.0 / elapsed / 1e9;
   return r;
 }
 
@@ -151,7 +152,7 @@ RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer,
   config.coalescer.slots = options.coalescer_slots;
   pipeline::PipelineMonitor monitor(config);
 
-  std::atomic<std::uint64_t> total_bytes{0};
+  disco::util::atomic<std::uint64_t> total_bytes{0};
   std::vector<std::thread> threads;
   const auto start = Clock::now();
   for (unsigned p = 0; p < producers; ++p) {
@@ -179,7 +180,7 @@ RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer,
           bytes += pkt.length;
         }
       }
-      total_bytes += bytes;
+      total_bytes.fetch_add(bytes, std::memory_order_relaxed);
     });
   }
   for (auto& t : threads) t.join();
@@ -190,7 +191,7 @@ RunResult run_pipeline(unsigned producers, std::uint64_t packets_per_producer,
   RunResult r;
   r.mpps = static_cast<double>(producers) *
            static_cast<double>(packets_per_producer) / elapsed / 1e6;
-  r.gbps = static_cast<double>(total_bytes.load()) * 8.0 / elapsed / 1e9;
+  r.gbps = static_cast<double>(total_bytes.load(std::memory_order_relaxed)) * 8.0 / elapsed / 1e9;
   r.coalesced = monitor.coalesced();
   return r;
 }
@@ -240,7 +241,7 @@ RunResult run_pipeline_with_modules(unsigned producers,
 
   const std::uint64_t total_packets =
       static_cast<std::uint64_t>(producers) * packets_per_producer;
-  std::atomic<std::uint64_t> total_bytes{0};
+  disco::util::atomic<std::uint64_t> total_bytes{0};
   std::vector<std::thread> threads;
   const auto start = Clock::now();
   for (unsigned p = 0; p < producers; ++p) {
@@ -252,7 +253,7 @@ RunResult run_pipeline_with_modules(unsigned producers,
         (void)monitor.ingest(p, pkt.flow, pkt.length);
         bytes += pkt.length;
       }
-      total_bytes += bytes;
+      total_bytes.fetch_add(bytes, std::memory_order_relaxed);
     });
   }
   // Rotate mid-stream at evenly spaced packet thresholds (the last interval
@@ -276,7 +277,7 @@ RunResult run_pipeline_with_modules(unsigned producers,
 
   RunResult r;
   r.mpps = static_cast<double>(total_packets) / elapsed / 1e6;
-  r.gbps = static_cast<double>(total_bytes.load()) * 8.0 / elapsed / 1e9;
+  r.gbps = static_cast<double>(total_bytes.load(std::memory_order_relaxed)) * 8.0 / elapsed / 1e9;
   r.coalesced = monitor.coalesced();
   return r;
 }

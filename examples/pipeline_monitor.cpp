@@ -19,6 +19,7 @@
 #include "telemetry/export.hpp"
 #include "telemetry/registry.hpp"
 #include "util/rng.hpp"
+#include "util/atomic.hpp"
 
 namespace {
 
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
   pipeline::PipelineMonitor monitor(config);
 
   // Producers: bursty traffic, a few elephants among many mice.
-  std::atomic<std::uint64_t> sent{0};
+  disco::util::atomic<std::uint64_t> sent{0};
   std::vector<std::thread> threads;
   for (unsigned p = 0; p < producers; ++p) {
     threads.emplace_back([&, p] {
@@ -85,7 +86,7 @@ int main(int argc, char** argv) {
   monitor.drain();  // producers quiesced: apply every queued packet
 
   std::cout << "\ntotal packets counted: " << monitor.packets_seen()
-            << " (sent " << sent.load() << "), "
+            << " (sent " << sent.load(std::memory_order_relaxed) << "), "
             << monitor.coalesced()
             << " merged into bursts before their DISCO update\n\n";
 

@@ -33,11 +33,14 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
+#include <atomic>  // std::memory_order constants; the atomics themselves
+                   // come from util/atomic.hpp (model-checkable shim)
 #include <bit>
 #include <cstddef>
 #include <stdexcept>
 #include <vector>
+
+#include "util/atomic.hpp"
 
 namespace disco::pipeline {
 
@@ -85,7 +88,7 @@ class SpscRing {
   /// batch, against try_push's one per value).  No slot is visible to the
   /// consumer until the commit, and the two calls must not interleave with
   /// try_push from the same producer.
-  [[nodiscard]] T* push_prepare(std::size_t& n) noexcept {
+  [[nodiscard]] util::shared<T>* push_prepare(std::size_t& n) noexcept {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t space = capacity_ - (tail - cached_head_);
     if (space < n) {
@@ -131,12 +134,14 @@ class SpscRing {
  private:
   const std::size_t capacity_;
   const std::size_t mask_;
-  std::vector<T> slots_;
+  /// util::shared<T> == T in normal builds; under DISCO_MODELCHECK every
+  /// slot access is race-checked against the index protocol's clocks.
+  std::vector<util::shared<T>> slots_;
   // Shared indices, one cache line each; then each side's private cache of
   // the opposite index, again separated so producer writes to cached_head_
   // never invalidate the consumer's line holding cached_tail_.
-  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< consumer-owned
-  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< producer-owned
+  alignas(kCacheLine) util::atomic<std::size_t> head_{0};  ///< consumer-owned
+  alignas(kCacheLine) util::atomic<std::size_t> tail_{0};  ///< producer-owned
   alignas(kCacheLine) std::size_t cached_head_ = 0;       ///< producer's view of head_
   alignas(kCacheLine) std::size_t cached_tail_ = 0;       ///< consumer's view of tail_
 };

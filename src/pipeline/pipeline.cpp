@@ -96,7 +96,7 @@ struct PipelineMonitor::Worker {
   /// Race-free mirror of coalescer.merged() for cross-thread reads.
   /// Relaxed store/load: a monotonic statistic read by coalesced(); readers
   /// need a recent value, not ordering against other memory.
-  alignas(kCacheLine) std::atomic<std::uint64_t> merged_mirror{0};
+  alignas(kCacheLine) util::atomic<std::uint64_t> merged_mirror{0};
 
   telemetry::Gauge* occupancy = nullptr;
   telemetry::LatencyHistogram* pop_batch = nullptr;
@@ -255,9 +255,11 @@ std::size_t PipelineMonitor::ingest_batch(unsigned producer,
     std::size_t offset = 0;
     while (remaining > 0) {
       std::size_t granted = remaining;
-      Message* slots = util::fault::fires(util::fault::Point::kRingFull)
-                           ? nullptr
-                           : ring.push_prepare(granted);
+      // auto*: the span is util::shared<Message>* (== Message* in normal
+      // builds; race-checked slots under DISCO_MODELCHECK).
+      auto* slots = util::fault::fires(util::fault::Point::kRingFull)
+                        ? nullptr
+                        : ring.push_prepare(granted);
       if (slots == nullptr) {
         if (config_.backpressure == Backpressure::Drop) {
           stats.dropped.fetch_add(remaining, std::memory_order_relaxed);

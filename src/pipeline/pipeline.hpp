@@ -52,6 +52,7 @@
 #include "pipeline/burst_coalescer.hpp"
 #include "pipeline/packet_ring.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/atomic.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace disco::pipeline {
@@ -231,7 +232,7 @@ class PipelineMonitor {
   struct ProducerStats {
     /// Bumped with relaxed fetch_add and read with relaxed loads: a pure
     /// statistic, never used to order other memory.
-    alignas(kCacheLine) std::atomic<std::uint64_t> dropped{0};
+    alignas(kCacheLine) util::atomic<std::uint64_t> dropped{0};
     /// ingest_batch staging: one bucket of routed messages per worker.
     /// Touched only by the (single) thread driving this producer id, like
     /// the producer side of the rings themselves.
@@ -246,7 +247,7 @@ class PipelineMonitor {
   /// Flips off at stop().  release store / acquire loads: producers that
   /// observe `false` must also observe every control-plane write that
   /// preceded the flip, so none enqueues into a ring being drained down.
-  std::atomic<bool> accepting_{true};
+  util::atomic<bool> accepting_{true};
   bool running_ DISCO_GUARDED_BY(control_mutex_) = false;  ///< workers alive
   std::vector<std::thread> threads_ DISCO_GUARDED_BY(control_mutex_);
   std::vector<flowtable::FlowMonitor::EpochSubscriber> subscribers_

@@ -5,7 +5,7 @@
 namespace disco::telemetry {
 
 namespace detail {
-std::atomic<bool> g_enabled{false};
+util::atomic<bool> g_enabled{false};
 }  // namespace detail
 
 // Out-of-line mutators: call sites inline only the enabled() test (see the

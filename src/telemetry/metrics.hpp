@@ -33,6 +33,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/atomic.hpp"
+
 #ifndef DISCO_TELEMETRY
 #define DISCO_TELEMETRY 1
 #endif
@@ -42,7 +44,7 @@ namespace disco::telemetry {
 #if DISCO_TELEMETRY
 
 namespace detail {
-extern std::atomic<bool> g_enabled;
+extern util::atomic<bool> g_enabled;
 }  // namespace detail
 
 /// Process-wide runtime switch.  Off by default: telemetry is opt-in
@@ -74,7 +76,7 @@ class Counter {
  private:
   void inc_slow(std::uint64_t n) noexcept;
 
-  std::atomic<std::uint64_t> value_{0};
+  util::atomic<std::uint64_t> value_{0};
 };
 
 /// Instantaneous level.  Signed: deltas may transiently undershoot zero.
@@ -96,7 +98,7 @@ class Gauge {
   void set_slow(std::int64_t v) noexcept;
   void add_slow(std::int64_t n) noexcept;
 
-  std::atomic<std::int64_t> value_{0};
+  util::atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket log-scale histogram (HdrHistogram-lite): values 0..15 get
@@ -156,9 +158,9 @@ class LatencyHistogram {
  private:
   void record_slow(std::uint64_t v) noexcept;
 
-  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
+  std::array<util::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  util::atomic<std::uint64_t> count_{0};
+  util::atomic<std::uint64_t> sum_{0};
 };
 
 /// RAII timer: records the scope's wall time in nanoseconds into a

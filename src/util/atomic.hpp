@@ -1,0 +1,82 @@
+// The single entry point for atomics in this codebase (lint rule
+// atomic-shim-confined keeps it that way; see tools/lint_disco.py and
+// docs/static-analysis.md, "Model checking").
+//
+// Normal builds: zero-cost aliases.  util::atomic<T> IS std::atomic<T>,
+// util::shared<T> IS T, util::atomic_fence is std::atomic_thread_fence --
+// no wrapper object, no extra indirection, same layout (static_asserts
+// below, plus the BM_SpscRingShim / BM_SpscRingRaw bench pair guards the
+// "same generated code" claim from bench JSON).
+//
+// DISCO_MODELCHECK builds: every operation routes through the model
+// checker in src/verify, which explores schedules and weak-memory
+// reads-from choices and race-checks every util::shared access.  The
+// modeled types still behave correctly outside an exploration (they fall
+// back to a real std::atomic cell), so a -DDISCO_MODELCHECK=ON build runs
+// the entire ordinary test suite too.
+//
+// util::shared<T> marks plain data whose thread-safety is *protocol*
+// (published by a release store, claimed by an acquire load) rather than a
+// lock or an atomic -- ring slots are the canonical case.  In normal
+// builds it vanishes; under the checker it is what race detection bites
+// on.  Code using it must keep working when shared<T> is a class with only
+// assignment and conversion-to-T (e.g. take `auto*` from span APIs, not
+// `T*`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#if defined(DISCO_MODELCHECK) && DISCO_MODELCHECK
+
+#include "verify/model.hpp"
+
+namespace disco::util {
+
+template <typename T>
+using atomic = verify::ModelAtomic<T>;
+
+template <typename T>
+using shared = verify::Shared<T>;
+
+inline void atomic_fence(std::memory_order order) noexcept {
+  verify::model_fence(order);
+}
+
+}  // namespace disco::util
+
+#else  // normal build: bare std::atomic
+
+namespace disco::util {
+
+template <typename T>
+using atomic = std::atomic<T>;
+
+template <typename T>
+using shared = T;
+
+inline void atomic_fence(std::memory_order order) noexcept {
+  std::atomic_thread_fence(order);
+}
+
+namespace shim_detail {
+// The shim must be invisible in normal builds: the exact std type, and a
+// shared<T> that is literally T.
+static_assert(std::is_same_v<atomic<std::uint64_t>, std::atomic<std::uint64_t>>);
+static_assert(std::is_same_v<atomic<bool>, std::atomic<bool>>);
+static_assert(std::is_same_v<shared<std::uint64_t>, std::uint64_t>);
+static_assert(sizeof(atomic<std::uint64_t>) == sizeof(std::uint64_t));
+static_assert(alignof(atomic<std::uint64_t>) == alignof(std::uint64_t));
+}  // namespace shim_detail
+
+}  // namespace disco::util
+
+#endif  // DISCO_MODELCHECK
+
+namespace disco {
+// Issue-facing spellings: disco::atomic<T> / disco::atomic_fence.
+template <typename T>
+using atomic = util::atomic<T>;
+using util::atomic_fence;
+}  // namespace disco

@@ -5,6 +5,7 @@
 #include <atomic>
 
 #include "util/rng.hpp"
+#include "util/atomic.hpp"
 
 namespace disco::util::fault {
 namespace {
@@ -15,9 +16,9 @@ namespace {
 // fields themselves need no per-field atomicity.
 struct PointState {
   Plan plan;
-  std::atomic<bool> armed{false};
-  std::atomic<std::uint64_t> call_count{0};
-  std::atomic<std::uint64_t> trip_count{0};
+  util::atomic<bool> armed{false};
+  util::atomic<std::uint64_t> call_count{0};
+  util::atomic<std::uint64_t> trip_count{0};
 };
 
 PointState g_points[kPointCount];

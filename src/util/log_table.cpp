@@ -5,6 +5,30 @@
 
 namespace disco::util {
 
+namespace {
+
+// `m << s` with saturation instead of 64-bit shift UB / wraparound.  Stored
+// shifts are capped at build time, but the monotonicity ladder can push an
+// entry's re-encoded shift past the cap in extreme configurations; encode
+// and decode must agree on one defined meaning for those encodings.
+std::uint64_t sat_shift(std::uint64_t m, unsigned s) noexcept {
+  if (m == 0) return 0;
+  if (s >= 64 || m > (~std::uint64_t{0} >> s)) return ~std::uint64_t{0};
+  return m << s;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > ~std::uint64_t{0} / b) return ~std::uint64_t{0};
+  return a * b;
+}
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > ~std::uint64_t{0} - b ? ~std::uint64_t{0} : a + b;
+}
+
+}  // namespace
+
 LogExpTable::LogExpTable(const Config& config) : config_(config) {
   if (config.entries < 2) {
     throw std::invalid_argument("LogExpTable: need at least 2 entries");
@@ -27,7 +51,12 @@ LogExpTable::LogExpTable(const Config& config) : config_(config) {
                   ? ~std::uint32_t{0}
                   : ((std::uint32_t{1} << config.log_mantissa_bits) - 1);
 
-  // Quantise y to `bits` mantissa bits: y ~= mantissa << shift.
+  // Quantise y to `bits` mantissa bits: y ~= mantissa << shift.  The shift
+  // is capped so the encoded value keeps headroom below 2^64: true f values
+  // past that exceed any physical byte count, and all the estimator needs
+  // up there is a well-defined, strictly increasing encoding -- the
+  // monotonicity ladder below supplies it.  (Uncapped, the 64-bit decode
+  // shift was undefined behaviour; caught by UBSan.)
   auto quantize = [](double y, int bits, std::uint32_t& mantissa,
                      std::uint8_t& shift) {
     if (y < 0.5) {  // f(0) = 0
@@ -47,6 +76,11 @@ LogExpTable::LogExpTable(const Config& config) : config_(config) {
       mantissa >>= 1;
       ++e;
     }
+    const int max_e = 60 - bits;  // value <= ~2^60: 16x ladder headroom
+    if (e > max_e) {
+      e = max_e;
+      mantissa = static_cast<std::uint32_t>((std::uint64_t{1} << bits) - 1);
+    }
     shift = static_cast<std::uint8_t>(e);
   };
 
@@ -62,8 +96,11 @@ LogExpTable::LogExpTable(const Config& config) : config_(config) {
 
     // Enforce strict monotonicity of the quantised f so that update
     // probabilities have positive denominators.  The adjustment is at most
-    // one ulp of the mantissa grid.
-    std::uint64_t fv = static_cast<std::uint64_t>(fm) << fs;
+    // one ulp of the mantissa grid.  Past the quantize cap the f entries
+    // form a prev+1 ladder; the cap's headroom keeps the ladder inside
+    // uint64 for every realistic configuration (and sat_shift keeps even
+    // a saturated ladder well defined).
+    std::uint64_t fv = sat_shift(fm, fs);
     if (c > 0 && fv <= prev_f) {
       fv = prev_f + 1;
       // Re-derive a representable mantissa/shift for the bumped value.
@@ -76,7 +113,7 @@ LogExpTable::LogExpTable(const Config& config) : config_(config) {
       }
       fm = static_cast<std::uint32_t>(m);
       fs = static_cast<std::uint8_t>(e);
-      fv = static_cast<std::uint64_t>(fm) << fs;
+      fv = sat_shift(fm, fs);
     }
     prev_f = fv;
 
@@ -97,12 +134,12 @@ std::size_t LogExpTable::storage_bits() const noexcept {
 std::uint64_t LogExpTable::table_f(std::uint32_t c) const noexcept {
   const std::uint32_t w = packed_[c];
   const std::uint32_t m = (w >> config_.log_mantissa_bits) & pow_mask_;
-  return static_cast<std::uint64_t>(m) << pow_shift_[c];
+  return sat_shift(m, pow_shift_[c]);
 }
 
 std::uint64_t LogExpTable::table_step(std::uint32_t c) const noexcept {
   const std::uint32_t m = packed_[c] & log_mask_;
-  return static_cast<std::uint64_t>(m) << step_shift_[c];
+  return sat_shift(m, step_shift_[c]);
 }
 
 std::uint64_t LogExpTable::f(std::uint64_t c) const noexcept {
@@ -123,7 +160,9 @@ std::uint64_t LogExpTable::f(std::uint64_t c) const noexcept {
   const std::uint64_t by = table_step(static_cast<std::uint32_t>(y));
   const std::uint64_t fy = table_f(static_cast<std::uint32_t>(y));
   for (std::uint64_t i = 0; i < chunks; ++i) {
-    acc = acc * by + fy;
+    // Saturating: once the true f leaves uint64 range the estimator pins at
+    // UINT64_MAX (monotone, well defined) instead of wrapping non-monotone.
+    acc = sat_add(sat_mul(acc, by), fy);
   }
   return acc;
 }
@@ -138,9 +177,9 @@ std::uint64_t LogExpTable::step(std::uint64_t c) const noexcept {
   const std::uint64_t by = table_step(static_cast<std::uint32_t>(y));
   while (rem >= n) {
     rem -= y;
-    acc *= by;
+    acc = sat_mul(acc, by);
   }
-  return acc * table_step(static_cast<std::uint32_t>(rem));
+  return sat_mul(acc, table_step(static_cast<std::uint32_t>(rem)));
 }
 
 std::uint64_t LogExpTable::inverse_at_least(std::uint64_t target,

@@ -23,7 +23,9 @@
 //
 // All table values are integers; the quantised regulation function ftilde is
 // forced to be strictly increasing so that update probabilities are always
-// well defined.
+// well defined.  Where the true f leaves uint64 range (large c at steep
+// bases -- far past any physical byte count) ftilde saturates monotonically
+// at UINT64_MAX instead of invoking shift/multiply overflow.
 //
 // Relation to core/decision_table.hpp: both are precomputed f/b^c tables,
 // but they answer different questions.  This one models the *hardware*
@@ -63,7 +65,8 @@ class LogExpTable {
   [[nodiscard]] std::size_t storage_bits() const noexcept;
 
   /// Quantised f(c); exact table lookup for c < entries, shift-and-sum
-  /// extension above.  Strictly increasing in c.
+  /// extension above.  Strictly increasing in c until it saturates at
+  /// UINT64_MAX (only where the true f already exceeds uint64 range).
   [[nodiscard]] std::uint64_t f(std::uint64_t c) const noexcept;
 
   /// Quantised increment width b^c (= f(c+1) - f(c) in the unquantised

@@ -1,0 +1,366 @@
+// Model-checking harness for the repo's lock-free code -- a small
+// relacy/CDSChecker-style stateless explorer (docs/static-analysis.md,
+// "Model checking").
+//
+// A *driver* is an ordinary function: it builds the state under test on its
+// stack, hands thread bodies to run_threads(), and asserts invariants with
+// mc_check() after the join.  explore() runs that driver many times, each
+// time steering every scheduling decision and every atomic read through a
+// Controller:
+//
+//   * RANDOM mode (Options.exhaustive = false) performs seeded random walks
+//     -- cheap, reproducible smoke over deep interleavings;
+//   * EXHAUSTIVE mode enumerates the full decision tree by DFS, optionally
+//     under a CHESS-style preemption bound (Options.preemption_bound): with
+//     bound p every schedule that needs at most p involuntary context
+//     switches is covered, which finds the overwhelming majority of real
+//     concurrency bugs at a tiny fraction of the unbounded tree.
+//
+// Weak memory is simulated, not just SC interleavings: every atomic
+// location keeps a short history of stores, and a non-seq_cst load may read
+// any store that coherence and happens-before still allow -- the checker
+// *branches* on that choice, so store-buffering outcomes and stale relaxed
+// reads are explored deterministically.  Happens-before is tracked with
+// vector clocks (acquire loads join the clock attached by release stores;
+// fences follow the C++ upgrade rules; mutexes and thread create/join edge
+// normally), and every plain access through verify::Shared<T> is checked
+// against those clocks FastTrack-style: a pair of unordered accesses, one
+// of them a write, is a data race and fails the exploration with a
+// per-thread event trace.
+//
+// Threads are real std::threads driven cooperatively: exactly one runs at a
+// time, and control passes only at modeled operations, so checker state
+// needs no internal locking.  Failure never unwinds through user frames
+// (the ring's methods are noexcept): once a verdict is reached the
+// execution switches to a fair "finishing" mode -- round-robin scheduling,
+// loads pinned to the newest store, mutexes force-granted -- and runs the
+// driver to natural completion.
+//
+// Production code reaches this header only through util/atomic.hpp, and
+// only when built with -DDISCO_MODELCHECK=ON (or a per-target
+// DISCO_MODELCHECK=1, the way tests/CMakeLists.txt compiles the
+// test_modelcheck_* drivers).  The checker itself is ordinary portable
+// C++ with no dependency on that macro.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "verify/vector_clock.hpp"
+
+namespace disco::verify {
+
+// --------------------------------------------------------------------------
+// Exploration API.
+// --------------------------------------------------------------------------
+
+struct Options {
+  /// Base seed for RANDOM mode (execution i walks with seed ^ f(i)).
+  std::uint64_t seed = 1;
+  /// RANDOM mode: number of walks.  EXHAUSTIVE mode: safety cap on the tree
+  /// (exceeding it clears Result.exhausted instead of running forever).
+  std::uint64_t max_executions = 4096;
+  /// DFS over the full decision tree instead of random walks.
+  bool exhaustive = false;
+  /// CHESS-style bound on involuntary context switches per execution in
+  /// EXHAUSTIVE mode; -1 = unbounded.  Voluntary switches (spin_yield,
+  /// blocking, finishing) are always free.
+  int preemption_bound = -1;
+  /// Per-execution step bound: exceeding it marks the schedule pruned and
+  /// finishes it fairly (livelock guard; counted in Result.pruned).
+  std::uint64_t max_steps = 200000;
+  /// Stores kept per atomic location; older stores stop being readable
+  /// (bounding the weak-memory window, like a finite store buffer).
+  unsigned store_history = 8;
+  /// Consecutive non-newest reads a thread may take from one location
+  /// before being forced to the newest store -- the memory-liveness bound
+  /// that keeps polling loops finite under DFS.
+  unsigned stale_read_bound = 2;
+};
+
+struct Result {
+  std::uint64_t executions = 0;  ///< drivers actually run
+  std::uint64_t pruned = 0;      ///< executions cut short by max_steps
+  bool exhausted = false;        ///< EXHAUSTIVE: the whole tree was covered
+  bool failed = false;           ///< race / assertion / deadlock found
+  std::string report;            ///< human-readable verdict + event trace
+};
+
+/// Runs `driver` under every schedule the options ask for.  Returns after
+/// the first failure (Result.report explains it) or when the budget /
+/// decision tree is spent.  Re-entrant; not thread-safe (one exploration
+/// per thread at a time).
+Result explore(const Options& options, const std::function<void()>& driver);
+
+/// Spawns one model thread per body, runs them under the active
+/// exploration to completion, joins them (with the usual happens-before
+/// edges), and returns.  Must be called from inside a driver; at most
+/// kMaxThreads - 1 bodies; no nesting.
+void run_threads(std::vector<std::function<void()>> bodies);
+
+/// Driver-visible assertion: records a failure (with trace) instead of
+/// aborting, so the execution can finish cleanly.  Usable from thread
+/// bodies and from the post-join section of a driver.
+void mc_check(bool condition, const char* what);
+
+/// Voluntary yield for polling loops ("ring empty, let someone else run").
+/// Under exploration this is a scheduling point that prefers another
+/// runnable thread and never costs preemption budget; outside exploration
+/// it is std::this_thread::yield().
+void spin_yield();
+
+/// Attaches a human-readable name to the atomic / shared variable / mutex
+/// at `addr` for event traces ("done_flag" instead of "A3").  No-op
+/// outside an exploration.
+void label(const void* addr, const char* name);
+
+// --------------------------------------------------------------------------
+// Modeled primitives.  detail:: functions are implemented in model.cpp and
+// are only ever called while an exploration is active on this thread.
+// --------------------------------------------------------------------------
+
+namespace detail {
+
+/// True when the calling thread is running inside an exploration.
+[[nodiscard]] bool modeled() noexcept;
+
+enum class Rmw { kAdd, kSub, kAnd, kOr, kXor, kExchange };
+
+std::uint64_t atomic_load(const std::atomic<std::uint64_t>* cell,
+                          std::memory_order order);
+void atomic_store(std::atomic<std::uint64_t>* cell, std::uint64_t value,
+                  std::memory_order order);
+std::uint64_t atomic_rmw(std::atomic<std::uint64_t>* cell, Rmw op,
+                         std::uint64_t operand, std::uint64_t mask,
+                         std::memory_order order);
+bool atomic_cas(std::atomic<std::uint64_t>* cell, std::uint64_t& expected,
+                std::uint64_t desired, std::memory_order success,
+                std::memory_order failure);
+void fence(std::memory_order order);
+void plain_read(const void* addr);
+void plain_write(const void* addr);
+void mutex_lock(const void* addr);
+void mutex_unlock(const void* addr);
+/// The object at `addr` is being destroyed; its history stays available for
+/// traces but the address may be reused by a new object.
+void forget(const void* addr) noexcept;
+
+}  // namespace detail
+
+// --------------------------------------------------------------------------
+// ModelAtomic<T>: the DISCO_MODELCHECK face of disco::util::atomic<T>.
+// Mirrors the std::atomic member set this repo uses; every operation is a
+// scheduling point and a reads-from choice under exploration, and a plain
+// std::atomic operation (on `cell_`, which always holds the newest value)
+// when no exploration is active -- so a DISCO_MODELCHECK=ON build still
+// runs the ordinary test suite correctly, just slower.
+// --------------------------------------------------------------------------
+
+template <typename T>
+class ModelAtomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "ModelAtomic models word-sized trivially copyable types");
+
+ public:
+  constexpr ModelAtomic() noexcept : ModelAtomic(T{}) {}
+  constexpr ModelAtomic(T value) noexcept : cell_(to_bits(value)) {}
+  ~ModelAtomic() { detail::forget(&cell_); }
+
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  T load(std::memory_order order) const noexcept {
+    if (detail::modeled()) return from_bits(detail::atomic_load(&cell_, order));
+    return from_bits(cell_.load(order));
+  }
+
+  void store(T value, std::memory_order order) noexcept {
+    if (detail::modeled()) {
+      detail::atomic_store(&cell_, to_bits(value), order);
+      return;
+    }
+    cell_.store(to_bits(value), order);
+  }
+
+  T exchange(T value, std::memory_order order) noexcept {
+    if (detail::modeled()) {
+      return from_bits(detail::atomic_rmw(&cell_, detail::Rmw::kExchange,
+                                          to_bits(value), mask(), order));
+    }
+    return from_bits(cell_.exchange(to_bits(value), order));
+  }
+
+  T fetch_add(T delta, std::memory_order order) noexcept {
+    static_assert(sizeof(T) == 8, "sub-word RMW arithmetic is not modeled");
+    if (detail::modeled()) {
+      return from_bits(detail::atomic_rmw(&cell_, detail::Rmw::kAdd,
+                                          to_bits(delta), mask(), order));
+    }
+    return from_bits(cell_.fetch_add(to_bits(delta), order));
+  }
+
+  T fetch_sub(T delta, std::memory_order order) noexcept {
+    static_assert(sizeof(T) == 8, "sub-word RMW arithmetic is not modeled");
+    if (detail::modeled()) {
+      return from_bits(detail::atomic_rmw(&cell_, detail::Rmw::kSub,
+                                          to_bits(delta), mask(), order));
+    }
+    return from_bits(cell_.fetch_sub(to_bits(delta), order));
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) noexcept {
+    std::uint64_t bits = to_bits(expected);
+    bool ok;
+    if (detail::modeled()) {
+      ok = detail::atomic_cas(&cell_, bits, to_bits(desired), success, failure);
+    } else {
+      ok = cell_.compare_exchange_strong(bits, to_bits(desired), success,
+                                         failure);
+    }
+    expected = from_bits(bits);
+    return ok;
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) noexcept {
+    // The model never fails spuriously: weak == strong here (legal -- weak
+    // is allowed to behave strongly; it only narrows the explored space).
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+ private:
+  static constexpr std::uint64_t mask() noexcept {
+    return sizeof(T) == 8 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << (8 * sizeof(T))) - 1;
+  }
+  static constexpr std::uint64_t to_bits(T value) noexcept {
+    if constexpr (std::is_integral_v<T>) {
+      return static_cast<std::uint64_t>(value) & mask();
+    } else {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &value, sizeof(T));
+      return bits;
+    }
+  }
+  static constexpr T from_bits(std::uint64_t bits) noexcept {
+    if constexpr (std::is_integral_v<T>) {
+      return static_cast<T>(bits & mask());
+    } else {
+      T value{};
+      std::memcpy(&value, &bits, sizeof(T));
+      return value;
+    }
+  }
+
+  /// Always holds the newest value in modification order, so non-modeled
+  /// contexts (and the finishing mode's forced-fresh loads) read something
+  /// meaningful, and construction before an exploration seeds the initial
+  /// store.  mutable: std::atomic::load is const and so is ours, but the
+  /// modeled path updates checker bookkeeping keyed on this address.
+  mutable std::atomic<std::uint64_t> cell_;
+};
+
+// --------------------------------------------------------------------------
+// Shared<T>: a plain (non-atomic) variable under race detection -- the
+// DISCO_MODELCHECK face of disco::util::shared<T> (which is just T in
+// normal builds).  Reads and writes are NOT scheduling points (the race
+// verdict is pure clock math, independent of where the scheduler actually
+// preempted), which keeps the explored tree small.
+// --------------------------------------------------------------------------
+
+template <typename T>
+class Shared {
+ public:
+  Shared() = default;
+  Shared(const T& value) : value_(value) {}
+  ~Shared() { detail::forget(this); }
+
+  Shared(const Shared& other) : value_(other.read()) {
+    if (detail::modeled()) detail::plain_write(this);
+  }
+  Shared& operator=(const Shared& other) {
+    *this = other.read();
+    return *this;
+  }
+  Shared& operator=(const T& value) {
+    if (detail::modeled()) detail::plain_write(this);
+    value_ = value;
+    return *this;
+  }
+
+  operator T() const { return read(); }
+
+ private:
+  [[nodiscard]] T read() const {
+    if (detail::modeled()) detail::plain_read(this);
+    return value_;
+  }
+
+  T value_{};
+};
+
+// --------------------------------------------------------------------------
+// Mutex: a model-aware lock for drivers that mirror the repo's mutex-backed
+// protocols (subscribe-during-rotate).  Blocking deschedules the thread;
+// lock/unlock carry the usual acquire/release clock edges; an all-blocked
+// state is reported as a deadlock with a trace.  Outside an exploration it
+// degrades to a trivial spin on an atomic flag (drivers are the only
+// intended users).
+// --------------------------------------------------------------------------
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    if (detail::modeled()) {
+      detail::mutex_lock(this);
+      return;
+    }
+    while (plain_locked_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void unlock() {
+    if (detail::modeled()) {
+      detail::mutex_unlock(this);
+      return;
+    }
+    plain_locked_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> plain_locked_{false};
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Modeled equivalent of std::atomic_thread_fence -- the implementation
+/// behind disco::util::atomic_fence in DISCO_MODELCHECK builds.
+inline void model_fence(std::memory_order order) noexcept {
+  if (detail::modeled()) {
+    detail::fence(order);
+    return;
+  }
+  std::atomic_thread_fence(order);
+}
+
+}  // namespace disco::verify

@@ -1,0 +1,89 @@
+// Vector clocks for the model-checking harness (docs/static-analysis.md,
+// "Model checking").
+//
+// A VectorClock maps each model thread to a monotonically increasing event
+// stamp; C ⊑ C' (leq) is the happens-before partial order, merge is the
+// least upper bound.  The checker keeps one clock per thread (its knowledge
+// of every other thread), attaches clocks to release stores so acquire
+// loads can join them, and compares a single (writer, stamp) epoch against
+// a reader's clock to decide whether two plain accesses are ordered -- the
+// FastTrack-style epoch test, O(1) per access.
+//
+// Capacity is a fixed kMaxThreads: model executions are deliberately tiny
+// (2-4 threads), so a flat array beats any sparse representation and keeps
+// merge/leq branch-free loops the compiler unrolls.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace disco::verify {
+
+/// Model threads per execution, including the setup/check context (id 0).
+inline constexpr unsigned kMaxThreads = 8;
+
+class VectorClock {
+ public:
+  [[nodiscard]] std::uint32_t at(unsigned thread) const noexcept {
+    return c_[thread];
+  }
+
+  void set(unsigned thread, std::uint32_t stamp) noexcept { c_[thread] = stamp; }
+
+  /// Advances `thread`'s own component (one event happened there).
+  std::uint32_t tick(unsigned thread) noexcept { return ++c_[thread]; }
+
+  /// Pointwise maximum: after merge(o), everything o knew, this knows.
+  void merge(const VectorClock& other) noexcept {
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+      if (other.c_[t] > c_[t]) c_[t] = other.c_[t];
+    }
+  }
+
+  /// this ⊑ other: every event this clock knows, other also knows.
+  [[nodiscard]] bool leq(const VectorClock& other) const noexcept {
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+      if (c_[t] > other.c_[t]) return false;
+    }
+    return true;
+  }
+
+  /// Epoch test: does the single event (thread, stamp) happen-before a
+  /// context holding this clock?
+  [[nodiscard]] bool covers(unsigned thread, std::uint32_t stamp) const noexcept {
+    return c_[thread] >= stamp;
+  }
+
+  void clear() noexcept { c_.fill(0); }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+      if (c_[t] != 0) return false;
+    }
+    return true;
+  }
+
+  /// Compact "[3 0 7]" rendering (trailing zero components elided) for
+  /// race-trace readability.
+  [[nodiscard]] std::string str() const {
+    unsigned last = kMaxThreads;
+    while (last > 1 && c_[last - 1] == 0) --last;
+    std::string out = "[";
+    for (unsigned t = 0; t < last; ++t) {
+      if (t != 0) out += ' ';
+      out += std::to_string(c_[t]);
+    }
+    out += ']';
+    return out;
+  }
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) noexcept {
+    return a.c_ == b.c_;
+  }
+
+ private:
+  std::array<std::uint32_t, kMaxThreads> c_{};
+};
+
+}  // namespace disco::verify

@@ -1,0 +1,22 @@
+// Fixture: seeded atomic-shim-confined violations -- a raw std::atomic
+// member and a raw std::atomic_thread_fence outside src/util/atomic.hpp
+// and src/verify/.  Both are invisible to -DDISCO_MODELCHECK builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace disco::core {
+
+class RawFlag {
+ public:
+  void publish() noexcept {
+    std::atomic_thread_fence(std::memory_order_release);  // VIOLATION
+    ready_.store(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ready_{0};  // VIOLATION: raw std::atomic
+};
+
+}  // namespace disco::core

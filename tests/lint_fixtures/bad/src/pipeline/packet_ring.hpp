@@ -19,9 +19,9 @@ class MiniRing {
   }
 
  private:
-  std::atomic<std::uint64_t> head_{0};
-  std::atomic<std::uint64_t> tail_{0};
-  std::atomic<std::uint64_t> ops_{0};
+  util::atomic<std::uint64_t> head_{0};
+  util::atomic<std::uint64_t> tail_{0};
+  util::atomic<std::uint64_t> ops_{0};
 };
 
 }  // namespace disco::pipeline

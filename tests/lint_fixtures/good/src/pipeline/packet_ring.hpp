@@ -1,8 +1,11 @@
-// Fixture: SPSC ring whose atomics all name their memory_order.
+// Fixture: SPSC ring whose atomics all name their memory_order and are
+// declared through the model-check shim (atomic-shim-confined).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+
+#include "util/atomic.hpp"
 
 namespace disco::pipeline {
 
@@ -22,9 +25,9 @@ class MiniRing {
  private:
   static constexpr std::uint64_t kCapacity = 64;
   std::uint64_t slot_[kCapacity] = {};
-  std::atomic<std::uint64_t> head_{0};
-  std::atomic<std::uint64_t> tail_{0};
-  std::atomic<std::uint64_t> ops_{0};
+  util::atomic<std::uint64_t> head_{0};
+  util::atomic<std::uint64_t> tail_{0};
+  util::atomic<std::uint64_t> ops_{0};
 };
 
 }  // namespace disco::pipeline

@@ -1,8 +1,11 @@
-// Fixture: header that directly includes what it uses.
+// Fixture: header that directly includes what it uses and declares its
+// counter through the model-check shim (atomic-shim-confined).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+
+#include "util/atomic.hpp"
 
 namespace disco::telemetry {
 
@@ -14,7 +17,7 @@ class MiniCounter {
   }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  util::atomic<std::uint64_t> value_{0};
 };
 
 }  // namespace disco::telemetry

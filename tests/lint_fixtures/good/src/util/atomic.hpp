@@ -1,0 +1,17 @@
+// Fixture: the shim header itself -- the one file outside src/verify/ that
+// may spell raw std::atomic and std::atomic_thread_fence
+// (atomic-shim-confined exempts exactly this path).
+#pragma once
+
+#include <atomic>
+
+namespace disco::util {
+
+template <typename T>
+using atomic = std::atomic<T>;
+
+inline void atomic_fence(std::memory_order order) noexcept {
+  std::atomic_thread_fence(order);
+}
+
+}  // namespace disco::util

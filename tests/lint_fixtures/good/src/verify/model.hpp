@@ -1,0 +1,15 @@
+// Fixture: model-checker implementation file -- everything under
+// src/verify/ may use raw std::atomic (atomic-shim-confined exempts the
+// directory: the checker IS the thing the shim routes to).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace disco::verify {
+
+struct MiniCell {
+  std::atomic<std::uint64_t> cell{0};
+};
+
+}  // namespace disco::verify

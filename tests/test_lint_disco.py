@@ -95,6 +95,34 @@ class BadFixtures(unittest.TestCase):
         self.assert_finding("simd-intrinsics-confined",
                             "src/flowtable/simd_probe.cpp")
 
+    def test_atomic_shim_confined_fires(self):
+        self.assert_finding("atomic-shim-confined",
+                            "src/core/raw_atomic.hpp")
+
+    def test_atomic_shim_confined_fires_on_raw_fence(self):
+        # Both the member declaration and the fence call must be reported.
+        hits = [l for l in self.out.splitlines()
+                if "[atomic-shim-confined]" in l
+                and "src/core/raw_atomic.hpp" in l]
+        self.assertEqual(len(hits), 2, self.out)
+        self.assertTrue(any("atomic_thread_fence" in l for l in hits),
+                        self.out)
+
+    def test_shim_header_and_verify_dir_are_exempt(self):
+        # good/src/util/atomic.hpp and good/src/verify/model.hpp hold raw
+        # std::atomic (+ a raw fence) and the good tree is clean
+        # (test_good_tree_is_clean); this pins that the raw usage is really
+        # there, so both exemptions are actually tested.
+        shim = os.path.join(FIXTURES, "good", "src", "util", "atomic.hpp")
+        with open(shim, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("std::atomic<", text)
+        self.assertIn("std::atomic_thread_fence", text)
+        verify = os.path.join(FIXTURES, "good", "src", "verify", "model.hpp")
+        with open(verify, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("std::atomic<", text)
+
     def test_probe_header_is_exempt(self):
         # good/src/flowtable/tag_probe.hpp holds raw intrinsics and the good
         # tree is clean (test_good_tree_is_clean); this pins that the
@@ -115,6 +143,7 @@ class RuleSelection(unittest.TestCase):
         self.assertNotIn("[hot-path-transcendental]", out)
         self.assertNotIn("[atomic-memory-order]", out)
         self.assertNotIn("[header-self-contained]", out)
+        self.assertNotIn("[atomic-shim-confined]", out)
 
     def test_unknown_rule_is_usage_error(self):
         code, _, err = run_linter("--rules", "no-such-rule",
@@ -127,7 +156,7 @@ class RuleSelection(unittest.TestCase):
         self.assertEqual(code, 0)
         for rule in ("hot-path-transcendental", "atomic-memory-order",
                      "rng-call-site", "header-self-contained",
-                     "simd-intrinsics-confined"):
+                     "simd-intrinsics-confined", "atomic-shim-confined"):
             self.assertIn(rule, out)
 
 

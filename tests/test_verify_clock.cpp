@@ -1,0 +1,317 @@
+// Self-coverage for the model checker (src/verify): vector-clock algebra,
+// then classic memory-model litmus tests run through explore() -- the
+// checker must find the weak outcomes the C++ model allows (store
+// buffering under relaxed, stale reads) and must NOT find the ones
+// acquire/release or seq_cst forbid.  If these fail, every
+// test_modelcheck_* verdict is meaningless, so this binary is the first
+// gate on the harness itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "verify/model.hpp"
+#include "verify/vector_clock.hpp"
+
+namespace verify = disco::verify;
+
+// ---------------------------------------------------------------------------
+// VectorClock algebra.
+// ---------------------------------------------------------------------------
+
+TEST(VectorClock, StartsAtZeroAndTicks) {
+  verify::VectorClock c;
+  EXPECT_TRUE(c.is_zero());
+  EXPECT_EQ(c.at(2), 0u);
+  EXPECT_EQ(c.tick(2), 1u);
+  EXPECT_EQ(c.tick(2), 2u);
+  EXPECT_EQ(c.at(2), 2u);
+  EXPECT_FALSE(c.is_zero());
+  c.clear();
+  EXPECT_TRUE(c.is_zero());
+}
+
+TEST(VectorClock, MergeIsPointwiseMax) {
+  verify::VectorClock a;
+  verify::VectorClock b;
+  a.set(0, 3);
+  a.set(1, 1);
+  b.set(1, 5);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.at(0), 3u);
+  EXPECT_EQ(a.at(1), 5u);
+  EXPECT_EQ(a.at(2), 2u);
+}
+
+TEST(VectorClock, LeqIsThePartialOrder) {
+  verify::VectorClock lo;
+  verify::VectorClock hi;
+  lo.set(0, 1);
+  hi.set(0, 2);
+  hi.set(1, 1);
+  EXPECT_TRUE(lo.leq(hi));
+  EXPECT_FALSE(hi.leq(lo));
+  // Incomparable pair: neither leq the other.
+  verify::VectorClock x;
+  verify::VectorClock y;
+  x.set(0, 1);
+  y.set(1, 1);
+  EXPECT_FALSE(x.leq(y));
+  EXPECT_FALSE(y.leq(x));
+  EXPECT_TRUE(x.leq(x));
+}
+
+TEST(VectorClock, CoversIsTheEpochTest) {
+  verify::VectorClock c;
+  c.set(3, 7);
+  EXPECT_TRUE(c.covers(3, 7));
+  EXPECT_TRUE(c.covers(3, 1));
+  EXPECT_FALSE(c.covers(3, 8));
+  EXPECT_TRUE(c.covers(1, 0));  // stamp 0 == "before everything"
+}
+
+TEST(VectorClock, StrElidesTrailingZeros) {
+  verify::VectorClock c;
+  EXPECT_EQ(c.str(), "[0]");
+  c.set(0, 3);
+  c.set(2, 7);
+  EXPECT_EQ(c.str(), "[3 0 7]");
+}
+
+// ---------------------------------------------------------------------------
+// Litmus: message passing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// data is plain; flag is the synchronisation.  `store_order`/`load_order`
+/// select the variant; with_fences upgrades relaxed ops via thread fences.
+verify::Result message_passing(std::memory_order store_order,
+                               std::memory_order load_order,
+                               bool with_fences) {
+  verify::Options opts;
+  opts.exhaustive = true;
+  opts.max_executions = 100000;
+  return verify::explore(opts, [=] {
+    verify::ModelAtomic<std::uint64_t> flag{0};
+    verify::Shared<std::uint64_t> data;
+    verify::label(&flag, "flag");
+    verify::label(&data, "data");
+    std::uint64_t seen = 0;
+    verify::run_threads({
+        [&] {
+          data = 42;
+          if (with_fences) verify::model_fence(std::memory_order_release);
+          flag.store(1, store_order);
+        },
+        [&] {
+          while (flag.load(load_order) == 0) verify::spin_yield();
+          if (with_fences) verify::model_fence(std::memory_order_acquire);
+          seen = data;
+        },
+    });
+    verify::mc_check(seen == 42, "consumer must observe the payload");
+  });
+}
+
+}  // namespace
+
+TEST(Litmus, MessagePassingReleaseAcquireIsClean) {
+  verify::Result r = message_passing(std::memory_order_release,
+                                     std::memory_order_acquire, false);
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.pruned, 0u);
+  EXPECT_GT(r.executions, 1u);
+}
+
+TEST(Litmus, MessagePassingRelaxedIsARace) {
+  verify::Result r = message_passing(std::memory_order_relaxed,
+                                     std::memory_order_relaxed, false);
+  ASSERT_TRUE(r.failed);
+  EXPECT_NE(r.report.find("DATA RACE"), std::string::npos) << r.report;
+  EXPECT_NE(r.report.find("data"), std::string::npos) << r.report;
+  // The trace must show where the consumer's knowledge came from.
+  EXPECT_NE(r.report.find("reads-from"), std::string::npos) << r.report;
+}
+
+TEST(Litmus, MessagePassingRelaxedPlusFencesIsClean) {
+  verify::Result r = message_passing(std::memory_order_relaxed,
+                                     std::memory_order_relaxed, true);
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Litmus, MessagePassingReleaseStoreRelaxedLoadIsARace) {
+  // The planted-bug shape used by test_modelcheck_ring: publisher is
+  // correct, the consumer's acquire was downgraded.
+  verify::Result r = message_passing(std::memory_order_release,
+                                     std::memory_order_relaxed, false);
+  ASSERT_TRUE(r.failed);
+  EXPECT_NE(r.report.find("DATA RACE"), std::string::npos) << r.report;
+}
+
+// ---------------------------------------------------------------------------
+// Litmus: store buffering -- the weak outcome exists under relaxed and must
+// be *found*; under seq_cst it must not exist.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::set<std::pair<std::uint64_t, std::uint64_t>> store_buffering_outcomes(
+    std::memory_order order) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> outcomes;
+  verify::Options opts;
+  opts.exhaustive = true;
+  opts.max_executions = 100000;
+  verify::Result r = verify::explore(opts, [&outcomes, order] {
+    verify::ModelAtomic<std::uint64_t> x{0};
+    verify::ModelAtomic<std::uint64_t> y{0};
+    std::uint64_t r1 = 0;
+    std::uint64_t r2 = 0;
+    verify::run_threads({
+        [&] {
+          x.store(1, order);
+          r1 = y.load(order);
+        },
+        [&] {
+          y.store(1, order);
+          r2 = x.load(order);
+        },
+    });
+    outcomes.emplace(r1, r2);
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+  return outcomes;
+}
+
+}  // namespace
+
+TEST(Litmus, StoreBufferingWeakOutcomeFoundUnderRelaxed) {
+  auto outcomes = store_buffering_outcomes(std::memory_order_relaxed);
+  EXPECT_TRUE(outcomes.count({0, 0}))
+      << "the r1==r2==0 outcome is allowed by relaxed atomics and must be "
+         "explored";
+  EXPECT_TRUE(outcomes.count({1, 1}));
+  EXPECT_TRUE(outcomes.count({0, 1}));
+  EXPECT_TRUE(outcomes.count({1, 0}));
+}
+
+TEST(Litmus, StoreBufferingWeakOutcomeAbsentUnderSeqCst) {
+  auto outcomes = store_buffering_outcomes(std::memory_order_seq_cst);
+  EXPECT_FALSE(outcomes.count({0, 0}))
+      << "seq_cst forbids both threads missing each other's store";
+  EXPECT_TRUE(outcomes.count({1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Mutexes, deadlock, and mc_check plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(ModelMutex, GuardedCounterIsCleanAndExact) {
+  verify::Options opts;
+  opts.exhaustive = true;
+  opts.max_executions = 100000;
+  verify::Result r = verify::explore(opts, [] {
+    verify::Mutex mu;
+    verify::Shared<int> counter;
+    verify::label(&mu, "mu");
+    auto add_one = [&] {
+      verify::MutexLock lock(mu);
+      counter = static_cast<int>(counter) + 1;
+    };
+    verify::run_threads({add_one, add_one});
+    verify::mc_check(static_cast<int>(counter) == 2,
+                     "both increments must land");
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(ModelMutex, UnguardedCounterIsARace) {
+  verify::Options opts;
+  opts.exhaustive = true;
+  verify::Result r = verify::explore(opts, [] {
+    verify::Shared<int> counter;
+    verify::label(&counter, "counter");
+    auto add_one = [&] { counter = static_cast<int>(counter) + 1; };
+    verify::run_threads({add_one, add_one});
+  });
+  ASSERT_TRUE(r.failed);
+  EXPECT_NE(r.report.find("DATA RACE"), std::string::npos) << r.report;
+  EXPECT_NE(r.report.find("counter"), std::string::npos) << r.report;
+}
+
+TEST(ModelMutex, LockOrderInversionIsReportedAsDeadlock) {
+  verify::Options opts;
+  opts.exhaustive = true;
+  verify::Result r = verify::explore(opts, [] {
+    verify::Mutex a;
+    verify::Mutex b;
+    verify::label(&a, "mu_a");
+    verify::label(&b, "mu_b");
+    verify::run_threads({
+        [&] {
+          verify::MutexLock la(a);
+          verify::MutexLock lb(b);
+        },
+        [&] {
+          verify::MutexLock lb(b);
+          verify::MutexLock la(a);
+        },
+    });
+  });
+  ASSERT_TRUE(r.failed);
+  EXPECT_NE(r.report.find("DEADLOCK"), std::string::npos) << r.report;
+  EXPECT_NE(r.report.find("mu_a"), std::string::npos) << r.report;
+}
+
+TEST(Explore, FailedCheckCarriesTheMessageAndStopsExploration) {
+  verify::Options opts;
+  opts.exhaustive = true;
+  verify::Result r = verify::explore(opts, [] {
+    verify::ModelAtomic<std::uint64_t> x{0};
+    verify::run_threads({[&] { x.store(1, std::memory_order_relaxed); }});
+    verify::mc_check(false, "always fails");
+  });
+  ASSERT_TRUE(r.failed);
+  EXPECT_EQ(r.executions, 1u);
+  EXPECT_NE(r.report.find("CHECK FAILED: always fails"), std::string::npos)
+      << r.report;
+}
+
+TEST(Explore, RandomWalksAreBoundedAndSeeded) {
+  verify::Options opts;
+  opts.exhaustive = false;
+  opts.max_executions = 64;
+  opts.seed = 7;
+  verify::Result r = verify::explore(opts, [] {
+    verify::ModelAtomic<std::uint64_t> x{0};
+    verify::run_threads({
+        [&] { x.store(1, std::memory_order_release); },
+        [&] { (void)x.load(std::memory_order_acquire); },
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_FALSE(r.exhausted);  // random mode never claims exhaustion
+  EXPECT_EQ(r.executions, 64u);
+}
+
+TEST(Explore, RmwChainsCountExactlyOnce) {
+  // fetch_add is atomic even relaxed: no lost updates, no race on the cell.
+  verify::Options opts;
+  opts.exhaustive = true;
+  opts.max_executions = 100000;
+  verify::Result r = verify::explore(opts, [] {
+    verify::ModelAtomic<std::uint64_t> n{0};
+    auto bump = [&] { n.fetch_add(1, std::memory_order_relaxed); };
+    verify::run_threads({bump, bump});
+    verify::mc_check(n.load(std::memory_order_relaxed) == 2,
+                     "relaxed fetch_add must not lose updates");
+  });
+  EXPECT_FALSE(r.failed) << r.report;
+  EXPECT_TRUE(r.exhausted);
+}

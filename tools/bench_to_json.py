@@ -67,6 +67,14 @@ def run_micro(build_dir: str, min_time: float) -> dict:
     table_ns = benchmarks.get("BM_DiscoTable", {}).get("cpu_ns")
     if double_ns and table_ns:
         result["disco_table_speedup"] = round(double_ns / table_ns, 2)
+    # Derived metric: cost of the model-check atomics shim in a normal
+    # build (util/atomic.hpp; docs/static-analysis.md "Model checking").
+    # SpscRing-through-the-shim over the identical protocol on raw
+    # std::atomic -- must hover at 1.0, or the shim stopped being free.
+    shim_ns = benchmarks.get("BM_SpscRingShim", {}).get("cpu_ns")
+    raw_ns = benchmarks.get("BM_SpscRingRaw", {}).get("cpu_ns")
+    if shim_ns and raw_ns:
+        result["shim_overhead"] = round(shim_ns / raw_ns, 3)
     return result
 
 

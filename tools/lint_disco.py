@@ -43,6 +43,19 @@ simd-intrinsics-confined
     compares the two engines) and keeps -DDISCO_SIMD=OFF builds compiling
     on any target.
 
+atomic-shim-confined
+    Raw std::atomic / std::atomic_flag / std::atomic_thread_fence may
+    appear only in src/util/atomic.hpp (the shim that defines them away)
+    and under src/verify/ (the model checker's own implementation).
+    Everything else declares util::atomic / util::shared and fences with
+    util::atomic_fence, so a -DDISCO_MODELCHECK build routes every
+    operation through the schedule-exploring checker (docs/
+    static-analysis.md, "Model checking").  A raw std::atomic elsewhere is
+    invisible to the checker: the code still compiles and runs, but its
+    interleavings are silently never explored.  std::memory_order stays
+    legal everywhere -- the shim deliberately keeps the standard ordering
+    vocabulary.
+
 Suppressions
 ------------
 A finding can be suppressed with a justification on the same line or the
@@ -75,9 +88,10 @@ RULE_MEMORY_ORDER = "atomic-memory-order"
 RULE_RNG = "rng-call-site"
 RULE_HEADER = "header-self-contained"
 RULE_SIMD = "simd-intrinsics-confined"
+RULE_ATOMIC_SHIM = "atomic-shim-confined"
 
 ALL_RULES = (RULE_TRANSCENDENTAL, RULE_MEMORY_ORDER, RULE_RNG, RULE_HEADER,
-             RULE_SIMD)
+             RULE_SIMD, RULE_ATOMIC_SHIM)
 
 # Hot-path files -> functions allowed to call transcendentals.  These are
 # the cold-path helpers inside otherwise-hot translation units.
@@ -106,8 +120,10 @@ ATOMIC_METHODS = (
     "compare_exchange_weak|compare_exchange_strong"
 )
 ATOMIC_CALL_RE = re.compile(r"\.\s*(" + ATOMIC_METHODS + r")\s*\(")
+# Declarations may spell the raw type or the model-check shim alias
+# (util::atomic, see atomic-shim-confined); both bind operator-form checks.
 ATOMIC_DECL_RE = re.compile(
-    r"std\s*::\s*atomic\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>\s+(\w+)"
+    r"(?:std|util)\s*::\s*atomic\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>\s+(\w+)"
 )
 
 # Directories where Rng draws are policed, and the canonical draw sites.
@@ -141,6 +157,16 @@ RNG_DRAW_RE = re.compile(
 # Suffix-matched like RNG_ALLOWED, so fixture trees exercise the rule.
 SIMD_ALLOWED_FILES = ("src/flowtable/tag_probe.hpp",)
 SIMD_INTRINSIC_RE = re.compile(r"\b(_mm\d*_\w+|__m\d+[a-z]*)\b")
+
+# Where raw std:: atomics are legitimate: the shim that aliases them away
+# and the model checker they get routed to.  Suffix-matched so fixture
+# trees exercise the rule and its exemptions.
+ATOMIC_SHIM_ALLOWED_FILES = ("src/util/atomic.hpp",)
+ATOMIC_SHIM_ALLOWED_DIRS = ("src/verify/",)
+ATOMIC_SHIM_RE = re.compile(
+    r"\bstd\s*::\s*(atomic_thread_fence|atomic_signal_fence|atomic_flag|"
+    r"atomic_ref|atomic)\b"
+)
 
 # std:: vocabulary type -> standard header that must be directly included.
 HEADER_REQUIREMENTS: Sequence[Tuple[re.Pattern, str]] = [
@@ -571,6 +597,26 @@ def check_simd_confined(rel: str, code_lines: Sequence[str],
                 f"bit-identical and -DDISCO_SIMD=OFF keeps building"))
 
 
+def check_atomic_shim_confined(rel: str, code_lines: Sequence[str],
+                               findings: List[Finding]) -> None:
+    if not rel.startswith("src/") and "/src/" not in "/" + rel:
+        return
+    if match_suffix(rel, ATOMIC_SHIM_ALLOWED_FILES):
+        return
+    if any(d in rel or rel.startswith(d) for d in ATOMIC_SHIM_ALLOWED_DIRS):
+        return
+    for idx, line in enumerate(code_lines):
+        m = ATOMIC_SHIM_RE.search(line)
+        if m:
+            findings.append(Finding(
+                rel, idx + 1, RULE_ATOMIC_SHIM,
+                f"raw std::{m.group(1)} outside src/util/atomic.hpp and "
+                f"src/verify/; declare util::atomic / util::shared and "
+                f"fence with util::atomic_fence so -DDISCO_MODELCHECK "
+                f"builds route this operation through the model checker "
+                f"(docs/static-analysis.md)"))
+
+
 def check_header_self_contained(rel: str, code: str,
                                 directives: Sequence[str],
                                 findings: List[Finding]) -> None:
@@ -658,6 +704,8 @@ def lint_files(paths: Sequence[str], root: str,
                                         directives[rel], file_findings)
         if RULE_SIMD in rules:
             check_simd_confined(rel, code_lines[rel], file_findings)
+        if RULE_ATOMIC_SHIM in rules:
+            check_atomic_shim_confined(rel, code_lines[rel], file_findings)
         for f in file_findings:
             if f.rule in suppressions[rel].get(f.line, set()):
                 continue
