@@ -1,5 +1,6 @@
 #include "flowtable/report_io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -29,19 +30,76 @@ template <typename T>
   return value;
 }
 
+// Body shared by read_report and ReportReader: everything after the magic.
+[[nodiscard]] ReportReader::Item read_after_magic(std::istream& in) {
+  ReportReader::Item item;
+  const auto version = get<std::uint32_t>(in);
+  if (version < 1 || version > kReportVersion) {
+    throw std::runtime_error("report_io: unsupported version");
+  }
+  item.version = version;
+  FlowMonitor::EpochReport& report = item.report;
+  report.epoch = get<std::uint64_t>(in);
+  if (version >= 3) item.site_id = get<std::uint32_t>(in);
+  report.totals.bytes = get<double>(in);
+  report.totals.packets = get<double>(in);
+  report.totals.flows = static_cast<std::size_t>(get<std::uint64_t>(in));
+  if (version >= 2) {
+    report.pressure.flows_rejected = get<std::uint64_t>(in);
+    report.pressure.flows_evicted = get<std::uint64_t>(in);
+    report.pressure.counters_saturated = get<std::uint64_t>(in);
+    report.pressure.rescale_events = get<std::uint64_t>(in);
+  }
+  if (version >= 3) {
+    report.volume_b = get<double>(in);
+    report.size_b = get<double>(in);
+    report.volume_error_unit = get<double>(in);
+    report.size_error_unit = get<double>(in);
+  }
+  const auto count = get<std::uint64_t>(in);
+  report.flows.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, std::uint64_t{1} << 20)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FlowMonitor::FlowEstimate flow;
+    flow.flow.src_ip = get<std::uint32_t>(in);
+    flow.flow.dst_ip = get<std::uint32_t>(in);
+    flow.flow.src_port = get<std::uint16_t>(in);
+    flow.flow.dst_port = get<std::uint16_t>(in);
+    flow.flow.protocol = get<std::uint8_t>(in);
+    flow.bytes = get<double>(in);
+    flow.packets = get<double>(in);
+    report.flows.push_back(flow);
+  }
+  return item;
+}
+
 }  // namespace
 
-void write_report(std::ostream& out, const FlowMonitor::EpochReport& report) {
+void write_report(std::ostream& out, const FlowMonitor::EpochReport& report,
+                  std::uint32_t site_id, std::uint32_t version) {
+  if (version < 1 || version > kReportVersion) {
+    // Programmer error (a caller invented a version), not an I/O failure.
+    throw std::invalid_argument("report_io: cannot write unsupported version");
+  }
   put(out, kReportMagic);
-  put(out, kReportVersion);
+  put(out, version);
   put(out, report.epoch);
+  if (version >= 3) put(out, site_id);
   put(out, report.totals.bytes);
   put(out, report.totals.packets);
   put(out, static_cast<std::uint64_t>(report.totals.flows));
-  put(out, report.pressure.flows_rejected);
-  put(out, report.pressure.flows_evicted);
-  put(out, report.pressure.counters_saturated);
-  put(out, report.pressure.rescale_events);
+  if (version >= 2) {
+    put(out, report.pressure.flows_rejected);
+    put(out, report.pressure.flows_evicted);
+    put(out, report.pressure.counters_saturated);
+    put(out, report.pressure.rescale_events);
+  }
+  if (version >= 3) {
+    put(out, report.volume_b);
+    put(out, report.size_b);
+    put(out, report.volume_error_unit);
+    put(out, report.size_error_unit);
+  }
   put(out, static_cast<std::uint64_t>(report.flows.size()));
   for (const auto& flow : report.flows) {
     put(out, flow.flow.src_ip);
@@ -64,36 +122,36 @@ FlowMonitor::EpochReport read_report(std::istream& in) {
   if (get<std::uint32_t>(in) != kReportMagic) {
     throw std::runtime_error("report_io: bad magic (not a DRPT report)");
   }
-  const auto version = get<std::uint32_t>(in);
-  if (version != kReportVersion && version != 1) {
-    throw std::runtime_error("report_io: unsupported version");
+  return read_after_magic(in).report;
+}
+
+std::optional<ReportReader::Item> ReportReader::next() {
+  if (poisoned_) {
+    throw std::runtime_error("report_io: reader poisoned by earlier error");
   }
-  FlowMonitor::EpochReport report;
-  report.epoch = get<std::uint64_t>(in);
-  report.totals.bytes = get<double>(in);
-  report.totals.packets = get<double>(in);
-  report.totals.flows = static_cast<std::size_t>(get<std::uint64_t>(in));
-  if (version >= 2) {
-    report.pressure.flows_rejected = get<std::uint64_t>(in);
-    report.pressure.flows_evicted = get<std::uint64_t>(in);
-    report.pressure.counters_saturated = get<std::uint64_t>(in);
-    report.pressure.rescale_events = get<std::uint64_t>(in);
+  // Clean end-of-stream is only clean BETWEEN reports: probe for the magic
+  // byte-by-byte so EOF before any magic byte means "no more reports" while
+  // EOF inside the magic -- or anywhere after it -- means truncation.
+  std::uint32_t magic = 0;
+  char* bytes = reinterpret_cast<char*>(&magic);
+  for (std::size_t i = 0; i < sizeof(magic); ++i) {
+    if (!in_->read(bytes + i, 1)) {
+      if (i == 0 && in_->eof()) return std::nullopt;
+      poisoned_ = true;
+      throw std::runtime_error("report_io: truncated input");
+    }
   }
-  const auto count = get<std::uint64_t>(in);
-  report.flows.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(count, std::uint64_t{1} << 20)));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    FlowMonitor::FlowEstimate flow;
-    flow.flow.src_ip = get<std::uint32_t>(in);
-    flow.flow.dst_ip = get<std::uint32_t>(in);
-    flow.flow.src_port = get<std::uint16_t>(in);
-    flow.flow.dst_port = get<std::uint16_t>(in);
-    flow.flow.protocol = get<std::uint8_t>(in);
-    flow.bytes = get<double>(in);
-    flow.packets = get<double>(in);
-    report.flows.push_back(flow);
+  try {
+    if (magic != kReportMagic) {
+      throw std::runtime_error("report_io: bad magic (not a DRPT report)");
+    }
+    Item item = read_after_magic(*in_);
+    ++items_;
+    return item;
+  } catch (...) {
+    poisoned_ = true;
+    throw;
   }
-  return report;
 }
 
 void write_report_csv(std::ostream& out, const FlowMonitor::EpochReport& report) {
@@ -119,6 +177,12 @@ FlowMonitor::EpochReport combine_reports(const FlowMonitor::EpochReport& a,
   merged.totals.flows = a.totals.flows + b.totals.flows;
   merged.pressure = a.pressure;
   merged.pressure += b.pressure;
+  // Error metadata merges like the sharded rotate: max across contributors,
+  // keeping any interval derived from the combined report conservative.
+  merged.volume_b = std::max(a.volume_b, b.volume_b);
+  merged.size_b = std::max(a.size_b, b.size_b);
+  merged.volume_error_unit = std::max(a.volume_error_unit, b.volume_error_unit);
+  merged.size_error_unit = std::max(a.size_error_unit, b.size_error_unit);
   return merged;
 }
 

@@ -4,13 +4,25 @@
 // records to a collector.  This module defines the wire format ("DRPT"): a
 // fixed header (epoch id, totals) followed by per-flow records (5-tuple,
 // estimated bytes, estimated packets).  Binary for collectors, CSV for
-// humans.  The collector side can re-aggregate reports from several
-// appliances (see merge semantics in core/disco.hpp for counter-level
-// aggregation; reports aggregate at the estimate level).
+// humans.  The collector side (src/collect, docs/collector.md) re-aggregates
+// reports from several appliances at the estimate level; counter-level
+// aggregation is core/disco.hpp's merge.
+//
+// Version history (docs/collector.md has the byte-level tables):
+//   v1  header (epoch, totals) + flow records.
+//   v2  inserts the report's PressureStats between totals and flows, so a
+//       collector can tell a clean report from one produced under pressure.
+//   v3  adds a site id after the epoch, and the estimator error metadata
+//       (effective bases volume_b/size_b, additive error units) after the
+//       pressure block -- everything a collector needs to attach Theorem 2
+//       / additive confidence intervals to estimates merged across sites.
+// Readers accept all versions; absent fields read as zero (volume_b == 0
+// marks a legacy report whose base is unknown).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "flowtable/monitor.hpp"
@@ -18,21 +30,54 @@
 namespace disco::flowtable {
 
 inline constexpr std::uint32_t kReportMagic = 0x54505244;  // "DRPT" LE
-/// v2 inserts the report's PressureStats (flowtable/pressure.hpp) between
-/// the totals and the flow records, so a collector can tell a clean report
-/// from one produced under table pressure.  v1 reports remain readable
-/// (their pressure fields read as zero).
-inline constexpr std::uint32_t kReportVersion = 2;
+inline constexpr std::uint32_t kReportVersion = 3;
 
-/// Writes one epoch report.  Throws std::runtime_error on I/O failure --
-/// including short writes a buffered sink only surfaces at flush time: the
-/// stream is flushed before this returns, so a report that came back without
-/// an exception is fully on the wire.
-void write_report(std::ostream& out, const FlowMonitor::EpochReport& report);
+/// Writes one epoch report.  `site_id` identifies the producing monitor
+/// process in a multi-site deployment (v3+ field; dropped when emitting
+/// older versions).  `version` selects the wire version, for mixed fleets
+/// where the collector is newer than some monitors.  Throws
+/// std::runtime_error on I/O failure -- including short writes a buffered
+/// sink only surfaces at flush time: the stream is flushed before this
+/// returns, so a report that came back without an exception is fully on the
+/// wire.
+void write_report(std::ostream& out, const FlowMonitor::EpochReport& report,
+                  std::uint32_t site_id = 0,
+                  std::uint32_t version = kReportVersion);
 
-/// Reads a report written by write_report.  Throws std::runtime_error on
-/// malformed input.
+/// Reads a report written by write_report (any supported version).  Throws
+/// std::runtime_error on malformed input.  Fields a version lacks read as
+/// zero; the v3 site id is not surfaced here (use ReportReader).
 [[nodiscard]] FlowMonitor::EpochReport read_report(std::istream& in);
+
+/// Streaming reader for a concatenated sequence of reports -- a spool file
+/// a monitor appends to, or a collector socket.  next() distinguishes the
+/// two ways a stream can end: cleanly BETWEEN reports (nullopt) versus
+/// mid-report (std::runtime_error), so a truncated spool tail or a torn
+/// socket write is detected, never silently dropped.
+class ReportReader {
+ public:
+  explicit ReportReader(std::istream& in) : in_(&in) {}
+
+  struct Item {
+    std::uint32_t version = 0;  ///< wire version this report arrived as
+    std::uint32_t site_id = 0;  ///< 0 for pre-v3 reports
+    FlowMonitor::EpochReport report;
+  };
+
+  /// The next report, or nullopt at a clean end-of-stream.  Throws
+  /// std::runtime_error on truncation or malformed bytes; the reader is
+  /// then poisoned (every later call rethrows) because resynchronising
+  /// inside a torn binary stream would risk double-counting.
+  [[nodiscard]] std::optional<Item> next();
+
+  /// Reports returned so far (spool-offset bookkeeping for pollers).
+  [[nodiscard]] std::uint64_t items_read() const noexcept { return items_; }
+
+ private:
+  std::istream* in_;
+  std::uint64_t items_ = 0;
+  bool poisoned_ = false;
+};
 
 /// Human-readable CSV: header row then "src_ip,dst_ip,src_port,dst_port,
 /// protocol,bytes,packets" per flow.
@@ -40,7 +85,8 @@ void write_report_csv(std::ostream& out, const FlowMonitor::EpochReport& report)
 
 /// Collector-side aggregation: sums the totals and concatenates the flow
 /// records of two reports (same-key flows from different appliances appear
-/// as separate records; key-level fusion is the collector's policy choice).
+/// as separate records; key-level fusion is the collector's policy choice
+/// -- collect::Collector implements it with per-key accumulators).
 [[nodiscard]] FlowMonitor::EpochReport combine_reports(
     const FlowMonitor::EpochReport& a, const FlowMonitor::EpochReport& b);
 

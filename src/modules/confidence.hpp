@@ -14,12 +14,14 @@
 // than one flow contributes -- aggregation *helps* accuracy, which is why
 // the paper's per-port error plots beat its per-flow ones.  The accumulator
 // below tracks exactly the two moments the bound needs.
+// Since the collector landed (src/collect, docs/collector.md) the canonical
+// implementation of this bound lives in core/estimate_merge.hpp, which also
+// generalises it to heterogeneous bases and mixed DISCO/additive estimator
+// fleets; interval() below delegates to core::aggregate_interval and is
+// bit-identical to the historical in-place formula.
 #pragma once
 
-#include <algorithm>
-#include <cmath>
-
-#include "core/theory.hpp"
+#include "core/estimate_merge.hpp"
 
 namespace disco::modules {
 
@@ -55,18 +57,9 @@ class EstimateAccumulator {
   /// every epoch that contributed (EpochReport::volume_b / size_b), which
   /// keeps the bound conservative under RescaleB drift.
   [[nodiscard]] AggregateInterval interval(double b, double confidence) const {
-    AggregateInterval out;
-    out.estimate = sum_;
-    if (b <= 1.0 || confidence <= 0.0 || confidence >= 1.0) {
-      out.low = out.high = sum_;  // degenerate: b == 1 counts exactly
-      return out;
-    }
-    const double e = core::theory::cv_bound(b);
-    const double z = core::theory::normal_quantile(0.5 + confidence / 2.0);
-    const double half = z * e * std::sqrt(sum_squares_);
-    out.low = std::max(0.0, sum_ - half);
-    out.high = sum_ + half;
-    return out;
+    const core::MergedInterval merged =
+        core::aggregate_interval(sum_, sum_squares_, b, confidence);
+    return AggregateInterval{merged.estimate, merged.low, merged.high};
   }
 
  private:

@@ -74,6 +74,12 @@ Scenario real_trace_model() {
                   std::make_shared<BimodalLength>());
 }
 
+Scenario zipf_scenario(double alpha, std::uint64_t max_packets) {
+  return Scenario("zipf-" + std::to_string(alpha),
+                  std::make_shared<ZipfCount>(alpha, max_packets),
+                  std::make_shared<TruncatedExponentialLength>(700.0, 40, 1500));
+}
+
 Scenario as_flow_size(const Scenario& s) {
   // Re-draws counts from the same scenario but collapses every length to 1.
   class CountAdapter final : public CountDistribution {

@@ -65,6 +65,16 @@ class Scenario {
 /// so counting bytes of the derived scenario counts packets of the original.
 [[nodiscard]] Scenario as_flow_size(const Scenario& s);
 
+/// Zipf-skewed workload for distributed-aggregation experiments: packet
+/// counts Zipf(alpha) over [1, max_packets] (heavy hitters + a long mouse
+/// tail), truncated-exponential lengths (mean 700 B in [40, 1500]).  The
+/// multi-process soak harness regenerates THIS scenario from one seed in
+/// every monitor process and in the test that computes ground truth, so its
+/// definition is shared here rather than duplicated per binary
+/// (docs/collector.md, tests/test_collector_soak.cpp).
+[[nodiscard]] Scenario zipf_scenario(double alpha = 1.1,
+                                     std::uint64_t max_packets = 2048);
+
 /// The NP experiment's traffic pattern: `flow_count` flows where 20% of
 /// flows carry 80% of the volume, packet lengths uniform in
 /// [len_lo, len_hi].  `mean_packets` scales total workload size.

@@ -41,7 +41,17 @@ def make_good_tree(root):
           "Run `disco_analyze trace.dtrc --bits 4 --modules all`.\n"
           "Template paths like src/<area>/file.cpp and docs/*.md are fine.\n"
           "Suppressed: [old](gone.md) "
-          "<!-- docs-lint: allow(dead-link) kept for history -->\n")
+          "<!-- docs-lint: allow(dead-link) kept for history -->\n"
+          "\n"
+          "## Flag reference\n"
+          "<!-- docs-lint: flags(disco_analyze) -->\n"
+          "| `--bits N` | counter bits |\n"
+          "| `--modules LIST` | module set |\n"
+          "<!-- docs-lint: end-flags -->\n"
+          "After end-flags, unattributed flags pass: use --verbose freely.\n"
+          "\n"
+          "## Next section\n"
+          "A heading also closes the context, so --whatever is unchecked.\n")
     write(root, "README.md",
           "Details in [the guide](docs/guide.md).\n"
           "External flags pass: cmake --build build && ctest "
@@ -54,7 +64,13 @@ def make_bad_tree(root):
           "Broken: [missing doc](docs/nope.md).\n"
           "Stale ref: see src/core/vanished.hpp for details.\n"
           "Machine path: data lives in /root/related/some_repo/file.c.\n"
-          "Dropped flag: disco_analyze trace.dtrc --frobnicate.\n")
+          "Dropped flag: disco_analyze trace.dtrc --frobnicate.\n"
+          "\n"
+          "<!-- docs-lint: flags(disco_analyze) -->\n"
+          "| `--bits N` | still real |\n"
+          "| `--defrobnicate` | dropped from the tool |\n"
+          "\n"
+          "<!-- docs-lint: flags(disco_vanished) -->\n")
 
 
 class FixtureTrees(unittest.TestCase):
@@ -87,13 +103,16 @@ class FixtureTrees(unittest.TestCase):
         self.assert_finding(out, "stale-path", "src/core/vanished.hpp")
         self.assert_finding(out, "stale-path", "/root/related/")
         self.assert_finding(out, "stale-cli-flag", "--frobnicate")
+        self.assert_finding(out, "stale-cli-flag", "--defrobnicate")
+        self.assert_finding(out, "stale-cli-flag", "disco_vanished")
 
     def test_finding_count_is_exact(self):
-        # Exactly the four seeded violations -- no overfiring on the rest of
-        # the fixture text.
+        # Exactly the six seeded violations -- no overfiring on the rest of
+        # the fixture text (in particular `--bits` inside the annotated flag
+        # block must pass, since the tool still parses it).
         make_bad_tree(self.tmp.name)
         _, out, _ = run_linter(self.tmp.name)
-        self.assertEqual(len(out.strip().splitlines()), 4, out)
+        self.assertEqual(len(out.strip().splitlines()), 6, out)
 
     def test_suppression_is_honoured(self):
         make_good_tree(self.tmp.name)

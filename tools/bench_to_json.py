@@ -112,6 +112,23 @@ def run_pressure(build_dir: str, scale: float) -> dict:
         os.unlink(tmp_path)
 
 
+def run_collector(build_dir: str, scale: float) -> dict:
+    """bench_collector via its --json=<path> reporter."""
+    binary = os.path.join(build_dir, "bench", "bench_collector")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        env = dict(os.environ, DISCO_BENCH_SCALE=str(scale))
+        cmd = [binary, f"--json={tmp_path}"]
+        print("+", " ".join(cmd), f"(DISCO_BENCH_SCALE={scale})",
+              file=sys.stderr)
+        subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
 def detect_cpu_count() -> int:
     """CPUs actually usable by this process, not the machine's socket count.
 
@@ -185,6 +202,8 @@ def main() -> int:
                         help="only run the micro bench (quick smoke)")
     parser.add_argument("--skip-pressure", action="store_true",
                         help="skip the pressure-policy ablation bench")
+    parser.add_argument("--skip-collector", action="store_true",
+                        help="skip the collector merge-throughput bench")
     args = parser.parse_args()
 
     doc = {
@@ -210,6 +229,14 @@ def main() -> int:
             doc["module_overhead_max"] = round(max(overheads), 4)
     if not args.skip_pressure:
         doc["pressure_ablation"] = run_pressure(args.build_dir, args.scale)
+    if not args.skip_collector:
+        doc["collector"] = run_collector(args.build_dir, args.scale)
+        # Headline derived metric: fusion-heavy merge throughput at the
+        # documented CI fleet size (see docs/collector.md).
+        for row in doc["collector"].get("merge", []):
+            if row.get("sites") == 4:
+                doc["collector_merge_mrecs_4_sites"] = round(
+                    row["mrecs_per_s"], 2)
 
     out_path = args.out or next_output_path()
     with open(out_path, "w") as f:

@@ -13,6 +13,18 @@ linter walks the repo's markdown and flags three classes of rot:
   stale-cli-flag   a `--flag` shown next to one of this repo's binaries
                    that the binary's source no longer mentions
 
+CLI reference sections usually list one flag per line with no binary name
+in sight, which the stale-cli-flag rule cannot attribute.  Open a flag
+context for such a block with an HTML-comment annotation:
+
+    <!-- docs-lint: flags(disco_collect) -->
+    | `--spool FILE...` | drain reports from spool files |
+
+Every flag on the following lines is checked against that binary's source
+until the next markdown heading, a `docs-lint: end-flags` annotation, or
+another flags(...) annotation.  Naming a binary the repo does not build is
+itself a finding -- annotations must not rot either.
+
 Scanned set: every *.md at the repo root plus docs/**/*.md, minus generated
 inputs and logs (ISSUE.md, PAPER.md, PAPERS.md, SNIPPETS.md, CHANGES.md).
 
@@ -65,6 +77,11 @@ EXTERNAL_FLAGS = {
 }
 
 SUPPRESS_RE = re.compile(r"docs-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+# Flag-context annotations for CLI reference blocks (see module docstring).
+FLAGS_CTX_RE = re.compile(r"docs-lint:\s*flags\(([A-Za-z0-9_.\-]+)\)")
+FLAGS_END_RE = re.compile(r"docs-lint:\s*end-flags")
+HEADING_RE = re.compile(r"^\s{0,3}#{1,6}\s")
 
 
 def find_docs(root: str) -> list[str]:
@@ -126,14 +143,26 @@ class Linter:
         with open(path, encoding="utf-8", errors="replace") as f:
             lines = f.read().splitlines()
         doc_dir = os.path.dirname(path)
+        context_binary = None
         for lineno, line in enumerate(lines, start=1):
+            ctx = FLAGS_CTX_RE.search(line)
+            if ctx:
+                context_binary = ctx.group(1)
+                if context_binary not in self.binaries:
+                    self.report(path, lineno, "stale-cli-flag",
+                                f"flags({context_binary}) names a binary "
+                                "the repo does not build")
+                    context_binary = None
+                continue
+            if FLAGS_END_RE.search(line) or HEADING_RE.match(line):
+                context_binary = None
             allowed = suppressed_rules(line)
             if "dead-link" not in allowed:
                 self.check_links(path, doc_dir, lineno, line)
             if "stale-path" not in allowed:
                 self.check_paths(path, lineno, line)
             if "stale-cli-flag" not in allowed:
-                self.check_flags(path, lineno, line)
+                self.check_flags(path, lineno, line, context_binary)
 
     def check_links(self, path: str, doc_dir: str, lineno: int, line: str):
         for match in MD_LINK_RE.finditer(line):
@@ -171,10 +200,13 @@ class Linter:
             self.report(path, lineno, "stale-path",
                         f"machine-local absolute path '{match.group(1)}'")
 
-    def check_flags(self, path: str, lineno: int, line: str):
+    def check_flags(self, path: str, lineno: int, line: str,
+                    context_binary: str | None = None):
         mentioned = [name for name in self.binaries if name in line]
         if not mentioned:
-            return
+            if context_binary is None:
+                return
+            mentioned = [context_binary]
         for match in FLAG_RE.finditer(line):
             flag = match.group(1)
             if flag in EXTERNAL_FLAGS:
